@@ -1,0 +1,38 @@
+"""Ablation: demand predictors in dynamic consolidation.
+
+The paper's dynamic scheme sizes at the *estimated* peak of the next
+interval; the estimator choice trades footprint against contention.
+The oracle bound separates packing effects from prediction error.
+"""
+
+from conftest import print_report
+
+from repro.experiments.ablations import run_predictor_ablation
+from repro.experiments.formatting import format_table
+
+
+def test_ablation_predictors(benchmark, settings):
+    results = benchmark.pedantic(
+        lambda: run_predictor_ablation("banking", settings),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            label,
+            result.provisioned_servers,
+            f"{result.energy_kwh:.0f}",
+            f"{result.contention_time_fraction():.5f}",
+            result.total_migrations(),
+        )
+        for label, result in results.items()
+    ]
+    print_report(
+        "Ablation: predictors (prediction error is the contention "
+        "mechanism; the oracle is the no-contention bound)",
+        format_table(
+            ["predictor", "servers", "energy_kwh", "contention",
+             "migrations"],
+            rows,
+        ),
+    )

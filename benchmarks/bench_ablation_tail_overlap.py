@@ -1,0 +1,36 @@
+"""Ablation: PCP tail-overlap factor (DESIGN.md §4.0.2).
+
+Sweeps the stochastic scheme's cross-cluster tail reserve from 0 (trust
+the peak clustering completely) to 1 (degenerate to max sizing).  The
+default 0.55 reproduces the paper's ~15-30% gain over vanilla; 0 shows
+the over-optimistic packing a naive PCP would produce, and the
+contention it risks.
+"""
+
+from conftest import print_report
+
+from repro.experiments.ablations import run_tail_overlap_ablation
+from repro.experiments.formatting import format_table
+
+
+def test_ablation_tail_overlap(benchmark, settings):
+    results = benchmark.pedantic(
+        lambda: run_tail_overlap_ablation("banking", settings),
+        rounds=1,
+        iterations=1,
+    )
+    vanilla_servers = results["vanilla"].provisioned_servers
+    rows = [
+        (
+            label,
+            result.provisioned_servers,
+            f"{result.provisioned_servers / vanilla_servers:.2f}",
+            f"{result.contention_time_fraction():.5f}",
+        )
+        for label, result in results.items()
+    ]
+    print_report(
+        "Ablation: PCP tail overlap (0 = trust clustering fully, "
+        "1 = max sizing)",
+        format_table(["scheme", "servers", "vs_vanilla", "contention"], rows),
+    )

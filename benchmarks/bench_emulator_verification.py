@@ -1,0 +1,41 @@
+"""§5.2 emulator verification: RuBiS and daxpy error bounds.
+
+Paper: "the 99 percentile error bound of our emulator is 5% for RuBIS
+and 2% for daxpy" — reproduced by replaying random traces through the
+workload-plus-micro-benchmark testbed simulator.
+"""
+
+from conftest import print_report
+
+from repro.emulator.verification import (
+    DAXPY_MODEL,
+    RUBIS_MODEL,
+    verify_emulator_accuracy,
+)
+from repro.experiments.formatting import format_table
+
+
+def test_emulator_verification(benchmark):
+    def run():
+        return [
+            verify_emulator_accuracy(model)
+            for model in (RUBIS_MODEL, DAXPY_MODEL)
+        ]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = [
+        (
+            r.workload,
+            r.n_points,
+            f"{r.mean_error:.2%}",
+            f"{r.p99_error:.2%}",
+            f"{r.max_error:.2%}",
+        )
+        for r in reports
+    ]
+    print_report(
+        "Emulator verification (paper: p99 error 5% RuBiS / 2% daxpy)",
+        format_table(
+            ["workload", "points", "mean_err", "p99_err", "max_err"], rows
+        ),
+    )

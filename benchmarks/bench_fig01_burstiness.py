@@ -1,0 +1,16 @@
+"""Fig. 1: burstiness of two randomly picked Banking servers.
+
+Paper: both servers average below 5% CPU utilization while peaking
+above 50% — the headline motivation for dynamic consolidation.
+"""
+
+from conftest import print_report
+
+from repro.experiments.figures import run_figure
+
+
+def test_fig01_bursty_servers(benchmark, settings):
+    report = benchmark.pedantic(
+        lambda: run_figure("fig1", settings), rounds=1, iterations=1
+    )
+    print_report("Fig 1 (paper: avg < 5%, peak > 50%)", report)

@@ -1,0 +1,17 @@
+"""Fig. 2: CDF of CPU peak-to-average ratio at 1/2/4 h intervals.
+
+Paper: Banking median > 5 at 1-2 h intervals with >30% of servers above
+10 at 1 h; Airlines/Natural-Resources modest (>50% above 2); Beverage
+similar to Banking.
+"""
+
+from conftest import print_report
+
+from repro.experiments.figures import run_figure
+
+
+def test_fig02_cpu_peak_to_average(benchmark, settings):
+    report = benchmark.pedantic(
+        lambda: run_figure("fig2", settings), rounds=1, iterations=1
+    )
+    print_report("Fig 2 (CPU P2A CDFs)", report)

@@ -1,0 +1,16 @@
+"""Fig. 3: CDF of CPU coefficient of variation.
+
+Paper: >50% of Banking servers heavy-tailed (CoV >= 1); ~30% Airlines,
+~15% Natural Resources; Beverage similar to Banking.
+"""
+
+from conftest import print_report
+
+from repro.experiments.figures import run_figure
+
+
+def test_fig03_cpu_cov(benchmark, settings):
+    report = benchmark.pedantic(
+        lambda: run_figure("fig3", settings), rounds=1, iterations=1
+    )
+    print_report("Fig 3 (CPU CoV CDFs)", report)

@@ -1,0 +1,17 @@
+"""Fig. 4: CDF of memory peak-to-average ratio.
+
+Paper: much smaller than CPU — more than half of all servers below 1.5;
+90% of Airlines and 60% of Natural Resources below 1.5; hardly any
+server above 10.
+"""
+
+from conftest import print_report
+
+from repro.experiments.figures import run_figure
+
+
+def test_fig04_memory_peak_to_average(benchmark, settings):
+    report = benchmark.pedantic(
+        lambda: run_figure("fig4", settings), rounds=1, iterations=1
+    )
+    print_report("Fig 4 (memory P2A CDFs)", report)

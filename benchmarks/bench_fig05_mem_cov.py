@@ -1,0 +1,16 @@
+"""Fig. 5: CDF of memory coefficient of variation.
+
+Paper: ~20% of Banking servers heavy-tailed; none in Airlines or
+Natural Resources; <10% in Beverage (Observation 2).
+"""
+
+from conftest import print_report
+
+from repro.experiments.figures import run_figure
+
+
+def test_fig05_memory_cov(benchmark, settings):
+    report = benchmark.pedantic(
+        lambda: run_figure("fig5", settings), rounds=1, iterations=1
+    )
+    print_report("Fig 5 (memory CoV CDFs)", report)

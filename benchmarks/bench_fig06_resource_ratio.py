@@ -1,0 +1,16 @@
+"""Fig. 6: CDF of aggregate CPU:memory demand ratio vs the HS23 blade.
+
+Paper (Observation 3): Banking memory-constrained ~30% of intervals;
+Airlines and Natural Resources essentially always; Beverage > 90%.
+"""
+
+from conftest import print_report
+
+from repro.experiments.figures import run_figure
+
+
+def test_fig06_resource_ratio(benchmark, settings):
+    report = benchmark.pedantic(
+        lambda: run_figure("fig6", settings), rounds=1, iterations=1
+    )
+    print_report("Fig 6 (CPU:memory ratio CDFs, reference 160)", report)

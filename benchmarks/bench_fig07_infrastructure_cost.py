@@ -1,0 +1,34 @@
+"""Fig. 7: normalized space and power cost of the three schemes.
+
+Paper: Stochastic outperforms Dynamic on space everywhere; Dynamic
+beats vanilla semi-static on space for 3 of 4 workloads; Dynamic's
+power is ~50% below Stochastic for Banking, large for Beverage, muted
+for Airlines / Natural Resources.
+
+This bench times the full Section-5 experiment (all four datacenters,
+three schemes each); Figs. 8-12 reuse its cached results.
+"""
+
+from conftest import print_report
+
+from repro.experiments.comparison import run_all
+from repro.experiments.formatting import format_table
+
+
+def test_fig07_infrastructure_cost(benchmark, settings, comparisons):
+    fresh = benchmark.pedantic(
+        lambda: run_all(settings), rounds=1, iterations=1
+    )
+    rows = []
+    for key, comparison in fresh.items():
+        space = comparison.normalized_space_cost()
+        power = comparison.normalized_power_cost()
+        for scheme in space:
+            rows.append(
+                (key, scheme, f"{space[scheme]:.2f}", f"{power[scheme]:.2f}")
+            )
+    print_report(
+        "Fig 7 (normalized to vanilla; paper: stochastic <= dynamic <= 1 "
+        "on space except airlines-dynamic > 1)",
+        format_table(["workload", "scheme", "space", "power"], rows),
+    )

@@ -1,0 +1,25 @@
+"""Fig. 8: fraction of time with resource contention per scheme.
+
+Paper: contention is small everywhere except Banking under Dynamic
+consolidation; Semi-static shows one isolated Natural-Resources case;
+absence of a bar means zero contention.
+"""
+
+from conftest import print_report
+
+from repro.experiments.formatting import format_table
+
+
+def test_fig08_contention_time(benchmark, comparisons):
+    def tabulate():
+        rows = []
+        for key, comparison in comparisons.items():
+            for scheme, value in comparison.contention_fractions().items():
+                rows.append((key, scheme, f"{value:.5f}"))
+        return format_table(["workload", "scheme", "contention_fraction"], rows)
+
+    report = benchmark.pedantic(tabulate, rounds=1, iterations=1)
+    print_report(
+        "Fig 8 (paper: contention concentrated in Banking x Dynamic)",
+        report,
+    )

@@ -1,0 +1,30 @@
+"""Fig. 9: CDF of CPU contention magnitude under dynamic consolidation.
+
+Paper: Banking's bursty CPU leads to very high contention (the
+distribution reaches a large fraction of server capacity); Airlines has
+no contention at all (absent line).
+"""
+
+from conftest import print_report
+
+from repro.experiments.formatting import format_cdf
+
+
+def test_fig09_contention_cdf(benchmark, comparisons):
+    grid = (0.05, 0.1, 0.25, 0.5, 1.0, 2.0)
+
+    def tabulate():
+        lines = []
+        for key, comparison in comparisons.items():
+            cdf = comparison.dynamic().cpu_contention_cdf()
+            if cdf is None:
+                lines.append(f"{key}: no contention (absent line)")
+            else:
+                lines.append(format_cdf(key, cdf, grid))
+        return "\n".join(lines)
+
+    report = benchmark.pedantic(tabulate, rounds=1, iterations=1)
+    print_report(
+        "Fig 9 (paper: Banking reaches high contention; Airlines absent)",
+        report,
+    )

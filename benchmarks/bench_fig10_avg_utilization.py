@@ -1,0 +1,30 @@
+"""Fig. 10: CDF of average CPU utilization per provisioned server.
+
+Paper: Airlines utilization is very low (memory-bound); semi-static
+variants cannot push average utilization high for the bursty Banking
+and Beverage workloads; Natural Resources looks alike under all schemes.
+"""
+
+from conftest import print_report
+
+from repro.experiments.formatting import format_cdf
+
+
+def test_fig10_average_utilization(benchmark, comparisons):
+    grid = (0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+    def tabulate():
+        lines = []
+        for key, comparison in comparisons.items():
+            for scheme, result in comparison.results.items():
+                lines.append(
+                    format_cdf(
+                        f"{key}/{scheme}",
+                        result.average_utilization_cdf(),
+                        grid,
+                    )
+                )
+        return "\n".join(lines)
+
+    report = benchmark.pedantic(tabulate, rounds=1, iterations=1)
+    print_report("Fig 10 (average CPU utilization CDFs)", report)

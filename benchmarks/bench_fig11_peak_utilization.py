@@ -1,0 +1,30 @@
+"""Fig. 11: CDF of peak CPU utilization per provisioned server.
+
+Paper: Banking under Dynamic has the highest peaks — about 15% of its
+servers cross 100% CPU utilization (the contention cases); all other
+variants stay below 1.
+"""
+
+from conftest import print_report
+
+from repro.experiments.formatting import format_cdf
+
+
+def test_fig11_peak_utilization(benchmark, comparisons):
+    grid = (0.25, 0.5, 0.75, 0.9, 1.0, 1.25)
+
+    def tabulate():
+        lines = []
+        for key, comparison in comparisons.items():
+            for scheme, result in comparison.results.items():
+                cdf = result.peak_utilization_cdf()
+                lines.append(format_cdf(f"{key}/{scheme}", cdf, grid))
+        banking = comparisons["banking"].dynamic().peak_utilization_cdf()
+        lines.append(
+            "banking/dynamic fraction above 1.0: "
+            f"{banking.fraction_above(1.0):.2f} (paper: ~0.15)"
+        )
+        return "\n".join(lines)
+
+    report = benchmark.pedantic(tabulate, rounds=1, iterations=1)
+    print_report("Fig 11 (peak CPU utilization CDFs)", report)

@@ -1,0 +1,32 @@
+"""Fig. 12: distribution of running servers under dynamic consolidation.
+
+Paper: Banking switches off up to 70% of deployed servers in some
+intervals; Beverage keeps only ~50% active for 90% of intervals;
+Airlines and Natural Resources barely vary.
+"""
+
+from conftest import print_report
+
+from repro.experiments.formatting import format_cdf
+
+
+def test_fig12_active_servers(benchmark, comparisons):
+    grid = (0.2, 0.3, 0.5, 0.7, 0.9, 1.0)
+
+    def tabulate():
+        lines = []
+        for key, comparison in comparisons.items():
+            result = comparison.dynamic()
+            cdf = result.active_fraction_cdf()
+            lines.append(format_cdf(key, cdf, grid))
+            lines.append(
+                f"  min active fraction: {cdf.sorted_values[0]:.2f}, "
+                f"mean: {result.active_fraction_series().mean():.2f}"
+            )
+        return "\n".join(lines)
+
+    report = benchmark.pedantic(tabulate, rounds=1, iterations=1)
+    print_report(
+        "Fig 12 (paper: Banking dips to ~0.3 active; Airlines flat)",
+        report,
+    )

@@ -1,0 +1,35 @@
+"""Fig. 16: beverage — servers vs utilization bound (sensitivity).
+
+Paper note: Beverage:tracks-Banking.  For a bound U, (1-U) of every host's CPU and
+memory is reserved for live migration; semi-static and stochastic hold
+no reservation and appear as flat reference lines.
+"""
+
+from conftest import print_report
+
+from repro.experiments.formatting import format_table
+from repro.experiments.sensitivity import run_sensitivity
+
+
+def test_fig16_sensitivity_beverage(benchmark, settings):
+    result = benchmark.pedantic(
+        lambda: run_sensitivity("beverage", settings), rounds=1, iterations=1
+    )
+    rows = [
+        (
+            f"{r['utilization_bound']:.2f}",
+            r["dynamic_servers"],
+            r["semi_static_servers"],
+            r["stochastic_servers"],
+        )
+        for r in result.rows()
+    ]
+    body = format_table(
+        ["bound", "dynamic", "semi-static", "stochastic"], rows
+    )
+    body += (
+        f"\ncrossover bound vs stochastic: {result.crossover_bound()}"
+        f"\nimprovement over stochastic at U=1.0: "
+        f"{result.improvement_at_full_bound():.0%}"
+    )
+    print_report("Fig 16 (beverage sensitivity)", body)

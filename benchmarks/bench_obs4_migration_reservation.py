@@ -1,0 +1,16 @@
+"""Observation 4: resources reserved for reliable live migration.
+
+Paper: live migration is reliable below ~80% host CPU / ~85% memory
+commit; the study recommends reserving >= 20% of server resources.
+"""
+
+from conftest import print_report
+
+from repro.experiments.figures import run_figure
+
+
+def test_obs4_migration_reservation(benchmark, settings):
+    report = benchmark.pedantic(
+        lambda: run_figure("obs4", settings), rounds=1, iterations=1
+    )
+    print_report("Obs 4 (paper: reserve >= 20%)", report)

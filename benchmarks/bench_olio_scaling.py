@@ -1,0 +1,12 @@
+"""§4.1 Olio aside: 6x throughput -> 7.9x CPU but only 3x memory."""
+
+from conftest import print_report
+
+from repro.experiments.figures import run_figure
+
+
+def test_olio_scaling(benchmark, settings):
+    report = benchmark.pedantic(
+        lambda: run_figure("olio", settings), rounds=1, iterations=1
+    )
+    print_report("Olio scaling (paper: 6x -> 7.9x CPU, 3x memory)", report)

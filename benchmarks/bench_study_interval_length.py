@@ -1,0 +1,41 @@
+"""§7 study: enabling shorter consolidation intervals.
+
+Paper: "Improvements in network bandwidth as well as advances in live
+migration implementation can allow shorter dynamic consolidation
+intervals ... reducing the overall hardware footprint as well as
+providing more opportunities for saving power."  The cost the paper
+implies: more migrations per day.
+"""
+
+from conftest import print_report
+
+from repro.experiments.formatting import format_table
+from repro.experiments.intervals import run_interval_study
+
+
+def test_study_interval_length(benchmark, settings):
+    points = benchmark.pedantic(
+        lambda: run_interval_study("banking", settings),
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        (
+            f"{p.interval_hours:.0f}h",
+            p.provisioned_servers,
+            f"{p.energy_kwh:.0f}",
+            p.total_migrations,
+            f"{p.contention_time_fraction:.5f}",
+            f"{p.mean_active_fraction:.2f}",
+        )
+        for p in points
+    ]
+    print_report(
+        "Interval-length study (paper §7: shorter intervals -> smaller "
+        "footprint + more power savings, at more migrations)",
+        format_table(
+            ["interval", "servers", "energy_kwh", "migrations",
+             "contention", "active_frac"],
+            rows,
+        ),
+    )

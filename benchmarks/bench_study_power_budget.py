@@ -1,0 +1,60 @@
+"""Extension study: BrownMap-style power budgets over dynamic consolidation.
+
+The paper's tool lineage includes BrownMap (reference [28], "enforcing
+power budget in shared data centers").  This study caps the facility
+power at fractions of dynamic consolidation's natural peak and reports
+the compliance/risk trade: forced consolidation cuts peak power but
+adds migrations and (for deep caps) contention from packing into the
+migration reservation.
+"""
+
+from conftest import print_report
+
+from repro.core import ConsolidationPlanner, DynamicConsolidation
+from repro.core.powercap import PowerBudgetedConsolidation
+from repro.experiments.formatting import format_table
+from repro.workloads import generate_datacenter
+
+
+def test_study_power_budget(benchmark, settings):
+    def run():
+        traces = generate_datacenter("banking", scale=settings.scale)
+        pool = settings.build_pool(traces)
+        planner = ConsolidationPlanner(
+            traces=traces, datacenter=pool,
+            config=settings.planning_config(),
+        )
+        baseline = planner.run(DynamicConsolidation())
+        peak = baseline.power_watts.sum(axis=0).max()
+        rows = [
+            (
+                "uncapped",
+                f"{peak:.0f}",
+                f"{baseline.energy_kwh:.0f}",
+                baseline.total_migrations(),
+                f"{baseline.contention_time_fraction():.5f}",
+            )
+        ]
+        for fraction in (0.9, 0.75, 0.6):
+            algo = PowerBudgetedConsolidation(budget_watts=peak * fraction)
+            result = planner.run(algo)
+            rows.append(
+                (
+                    f"cap at {fraction:.0%} of peak",
+                    f"{result.power_watts.sum(axis=0).max():.0f}",
+                    f"{result.energy_kwh:.0f}",
+                    result.total_migrations(),
+                    f"{result.contention_time_fraction():.5f}",
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_report(
+        "Power-budget study (BrownMap lineage): compliance vs risk",
+        format_table(
+            ["budget", "peak_watts", "energy_kwh", "migrations",
+             "contention"],
+            rows,
+        ),
+    )

@@ -1,0 +1,13 @@
+"""Table 2: workload types — server counts and mean CPU utilization."""
+
+from conftest import print_report
+
+from repro.experiments.figures import run_figure
+
+
+def test_table2_workloads(benchmark, settings):
+    report = benchmark.pedantic(
+        lambda: run_figure("table2", settings), rounds=1, iterations=1
+    )
+    print_report("Table 2 (paper: A=816@5%, B=445@1%, C=1390@12%, D=722@6%)",
+                 report)

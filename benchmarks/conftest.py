@@ -1,0 +1,44 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper and prints the
+same rows/series the paper reports, timed with pytest-benchmark.  The
+Section-5 figures (7-12) all derive from the same three-scheme
+comparison, so that expensive computation runs once per session (the
+``fig7`` bench times it; the others time their own tabulation) —
+mirroring how the paper derives six figures from one experiment.
+
+Scale defaults to 0.15 (fast, statistically stable); set
+``REPRO_SCALE=1.0`` to reproduce at the paper's full datacenter sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.comparison import run_all
+from repro.experiments.settings import ExperimentSettings
+
+
+def _bench_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "0.15"))
+
+
+@pytest.fixture(scope="session")
+def settings() -> ExperimentSettings:
+    return ExperimentSettings(scale=_bench_scale())
+
+
+@pytest.fixture(scope="session")
+def comparisons(settings):
+    """The Section-5 baseline experiment, shared across Figs. 7-12."""
+    return run_all(settings)
+
+
+def print_report(header: str, body: str) -> None:
+    print()
+    print("=" * 72)
+    print(header)
+    print("=" * 72)
+    print(body)

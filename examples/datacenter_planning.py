@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""A realistic consolidation-planning engagement with constraints.
+
+Models the workflow the paper's team ran in 30+ engagements: pull a
+month of monitoring data, apply the customer's deployment constraints
+(HA anti-affinity, a pinned compliance box, a same-subnet application
+group), compare consolidation variants, and sweep the live-migration
+reservation to decide whether dynamic consolidation is worth its risk
+for this estate (Figs. 7 and 13 in one run).
+
+Run:  python examples/datacenter_planning.py [datacenter] [scale]
+"""
+
+import sys
+
+from repro import (
+    ConsolidationPlanner,
+    DynamicConsolidation,
+    SemiStaticConsolidation,
+    StochasticConsolidation,
+    build_target_pool,
+    generate_datacenter,
+)
+from repro.constraints import (
+    AntiColocate,
+    ConstraintSet,
+    PinToHost,
+    SameSubnet,
+)
+from repro.core import PlanningConfig
+from repro.experiments.formatting import format_table
+
+
+def main(datacenter: str = "beverage", scale: float = 0.15) -> None:
+    traces = generate_datacenter(datacenter, scale=scale)
+    pool = build_target_pool(
+        "pool", host_count=max(12, len(traces) // 2), hosts_per_rack=14
+    )
+    vm_ids = traces.vm_ids
+
+    # The customer's deployment rules: two replicated tiers that must
+    # not share a host, a compliance appliance pinned to blade 0, and a
+    # three-tier application that must stay in one subnet.
+    constraints = ConstraintSet(
+        [
+            AntiColocate(vm_ids[0], vm_ids[1]),
+            AntiColocate(vm_ids[2], vm_ids[3]),
+            PinToHost(vm_ids[4], pool.hosts[0].host_id),
+            SameSubnet(vm_ids[5], vm_ids[6], vm_ids[7]),
+        ]
+    )
+
+    print(f"Engagement: {datacenter}, {len(traces)} source servers, "
+          f"{len(constraints)} deployment constraints\n")
+
+    # Baseline comparison at the 20% migration reservation (Table 3).
+    planner = ConsolidationPlanner(
+        traces=traces, datacenter=pool, constraints=constraints
+    )
+    results = planner.compare(
+        [
+            SemiStaticConsolidation(),
+            StochasticConsolidation(),
+            DynamicConsolidation(),
+        ]
+    )
+    rows = [
+        (
+            name,
+            r.provisioned_servers,
+            f"{r.energy_kwh:.0f} kWh",
+            f"{r.contention_time_fraction():.4f}",
+            r.total_migrations(),
+        )
+        for name, r in results.items()
+    ]
+    print(format_table(
+        ["scheme", "servers", "energy(14d)", "contention", "migrations"],
+        rows,
+    ))
+
+    # Reservation sweep: is dynamic consolidation worth enabling here?
+    print("\nDynamic consolidation vs live-migration reservation:")
+    sweep_rows = []
+    for bound in (0.7, 0.8, 0.9, 1.0):
+        sweep_planner = ConsolidationPlanner(
+            traces=traces,
+            datacenter=pool,
+            constraints=constraints,
+            config=PlanningConfig(utilization_bound=bound),
+        )
+        result = sweep_planner.run(DynamicConsolidation())
+        sweep_rows.append(
+            (
+                f"{1 - bound:.0%}",
+                result.provisioned_servers,
+                f"{result.energy_kwh:.0f} kWh",
+                f"{result.contention_time_fraction():.4f}",
+            )
+        )
+    print(format_table(
+        ["reservation", "servers", "energy(14d)", "contention"], sweep_rows
+    ))
+    stochastic_servers = results["stochastic"].provisioned_servers
+    print(
+        f"\nDecision aid: stochastic semi-static needs "
+        f"{stochastic_servers} servers with zero migrations — dynamic "
+        "must beat that within a reservation you can actually afford "
+        "(the paper's Observation 4 says 20%)."
+    )
+
+
+if __name__ == "__main__":
+    dc = sys.argv[1] if len(sys.argv) > 1 else "beverage"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.15
+    main(dc, scale)

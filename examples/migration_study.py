@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Live-migration reliability and the reservation rule (Observation 4).
+
+Simulates populations of pre-copy live migrations across source-host
+load levels, shows the reliability cliff (stable below ~80% CPU / ~85%
+memory commit), derives the recommended reservation, and demonstrates
+how the reservation feeds the dynamic-consolidation sensitivity study.
+
+Run:  python examples/migration_study.py
+"""
+
+from repro.experiments.formatting import format_table
+from repro.migration import (
+    recommended_reservation,
+    reliability_sweep,
+    simulate_migration,
+)
+
+
+def single_migration_anatomy() -> None:
+    print("One migration, three host-load situations (2 GB VM, 20 MB/s dirty):")
+    rows = []
+    for label, cpu, memory in (
+        ("cool host", 0.40, 0.40),
+        ("at the 80% bound", 0.78, 0.78),
+        ("over the cliff", 0.95, 0.95),
+    ):
+        outcome = simulate_migration(
+            2.0, 20.0, host_cpu_util=cpu, host_memory_util=memory
+        )
+        rows.append(
+            (
+                label,
+                f"{cpu:.0%}",
+                "ok" if outcome.success else "FAILED",
+                f"{outcome.duration_s:.0f}s",
+                f"{outcome.downtime_s * 1000:.0f}ms",
+                outcome.rounds,
+                f"{outcome.overhead_factor:.2f}x",
+            )
+        )
+    print(
+        format_table(
+            ["situation", "host_load", "result", "duration", "downtime",
+             "rounds", "bytes_moved"],
+            rows,
+        )
+    )
+
+
+def reservation_study() -> None:
+    print("\nReliability vs host utilization (200 migrations per point):")
+    points = reliability_sweep([0.5, 0.6, 0.7, 0.75, 0.8, 0.85, 0.9, 0.95])
+    rows = [
+        (
+            f"{p.host_cpu_util:.2f}",
+            f"{p.success_rate:.1%}",
+            f"{p.mean_duration_s:.0f}s",
+            f"{p.p99_duration_s:.0f}s",
+            "yes" if p.reliable() else "no",
+        )
+        for p in points
+    ]
+    print(
+        format_table(
+            ["host_util", "success", "mean", "p99", "reliable"], rows
+        )
+    )
+    reservation = recommended_reservation()
+    print(
+        f"\nRecommended reservation: {reservation:.0%} of CPU and memory "
+        "(paper's Observation 4: at least 20%)."
+    )
+
+
+def main() -> None:
+    single_migration_anatomy()
+    reservation_study()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Quickstart: plan and compare VM consolidation for one datacenter.
+
+Generates a scaled-down version of the paper's Banking datacenter,
+builds a pool of HS23 virtualization blades, runs the paper's three
+consolidation variants over the same 14-day window, and prints the
+headline comparison (Fig. 7's rows for one workload).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    ConsolidationPlanner,
+    DynamicConsolidation,
+    SemiStaticConsolidation,
+    StochasticConsolidation,
+    build_target_pool,
+    generate_datacenter,
+)
+from repro.experiments.formatting import format_table
+from repro.infrastructure import PowerCostModel, SpaceCostModel, normalize
+
+
+def main() -> None:
+    # 1. Monitoring: 30 days of hourly traces for a Banking-like estate
+    #    (scale=0.2 -> ~163 servers; scale=1.0 reproduces all 816).
+    traces = generate_datacenter("banking", scale=0.2)
+    print(
+        f"Generated {len(traces)} servers, "
+        f"mean CPU utilization {traces.mean_cpu_utilization():.1%}"
+    )
+
+    # 2. Target pool: identical HS23 Elite blades (128 GB, ratio 160).
+    pool = build_target_pool("pool", host_count=len(traces) // 2)
+
+    # 3. Plan with each variant and emulate over the evaluation window.
+    planner = ConsolidationPlanner(traces=traces, datacenter=pool)
+    results = planner.compare(
+        [
+            SemiStaticConsolidation(),
+            StochasticConsolidation(),
+            DynamicConsolidation(),
+        ]
+    )
+
+    # 4. Report the paper's headline metrics.
+    space_model, power_model = SpaceCostModel(), PowerCostModel()
+    space = normalize(
+        {k: space_model.cost(r.provisioned_servers) for k, r in results.items()},
+        "semi-static",
+    )
+    power = normalize(
+        {k: power_model.cost(r.energy_kwh) for k, r in results.items()},
+        "semi-static",
+    )
+    rows = [
+        (
+            name,
+            result.provisioned_servers,
+            f"{space[name]:.2f}",
+            f"{power[name]:.2f}",
+            f"{result.contention_time_fraction():.4f}",
+            result.total_migrations(),
+        )
+        for name, result in results.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["scheme", "servers", "space", "power", "contention", "migrations"],
+            rows,
+        )
+    )
+    print(
+        "\nPaper's shape: stochastic matches/beats dynamic on space; "
+        "dynamic wins on power for this bursty workload — at the price "
+        "of migrations and contention risk."
+    )
+
+
+if __name__ == "__main__":
+    main()

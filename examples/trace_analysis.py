@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Section-4 trace analysis across the four enterprise datacenters.
+
+Reproduces the workload-characterization study: burstiness of CPU vs
+memory (Observations 1 and 2) and the aggregate CPU:memory resource
+ratio against the HS23 reference blade (Observation 3).
+
+Run:  python examples/trace_analysis.py [scale]
+"""
+
+import sys
+
+from repro.analysis import analyze_burstiness, analyze_resource_ratio
+from repro.experiments.formatting import format_table
+from repro.workloads import ALL_DATACENTERS, generate_datacenter
+
+
+def main(scale: float = 0.2) -> None:
+    burstiness_rows = []
+    ratio_rows = []
+    for config in ALL_DATACENTERS:
+        traces = generate_datacenter(config.key, scale=scale)
+        report = analyze_burstiness(traces, intervals_hours=(1.0, 2.0, 4.0))
+        ratio = analyze_resource_ratio(traces)
+        burstiness_rows.append(
+            (
+                config.label,
+                config.industry,
+                f"{report.median_p2a('cpu', 1.0):.1f}",
+                f"{report.cov['cpu'].fraction_above(1.0):.0%}",
+                f"{report.median_p2a('memory', 1.0):.2f}",
+                f"{report.cov['memory'].fraction_above(1.0):.0%}",
+            )
+        )
+        ratio_rows.append(
+            (
+                config.label,
+                f"{ratio.median_ratio:.0f}",
+                f"{ratio.cdf.quantile(0.95):.0f}",
+                f"{ratio.fraction_memory_constrained:.0%}",
+            )
+        )
+
+    print("Observation 1 & 2 — CPU is bursty, memory is not:")
+    print(
+        format_table(
+            [
+                "dc",
+                "industry",
+                "cpu_p2a_med",
+                "cpu_heavy_tail",
+                "mem_p2a_med",
+                "mem_heavy_tail",
+            ],
+            burstiness_rows,
+        )
+    )
+    print()
+    print(
+        "Observation 3 — consolidated datacenters are memory-constrained\n"
+        "(aggregate RPE2-per-GB demand vs the HS23 blade's 160):"
+    )
+    print(
+        format_table(
+            ["dc", "ratio_median", "ratio_p95", "mem_constrained"],
+            ratio_rows,
+        )
+    )
+
+
+if __name__ == "__main__":
+    main(float(sys.argv[1]) if len(sys.argv) > 1 else 0.2)

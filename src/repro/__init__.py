@@ -1,0 +1,96 @@
+"""repro — reproduction of *Virtual Machine Consolidation in the Wild*
+(Verma, Bagrodia, Jaiswal; ACM/IFIP/USENIX Middleware 2014).
+
+The library contains everything the paper's evaluation needs, built from
+scratch:
+
+* calibrated synthetic workloads for the paper's four enterprise
+  datacenters (:mod:`repro.workloads`),
+* the Section-4 trace analysis (:mod:`repro.analysis`),
+* a pre-copy live-migration simulator and the reservation study behind
+  Observation 4 (:mod:`repro.migration`),
+* the consolidation emulator (:mod:`repro.emulator`),
+* static / semi-static / stochastic (PCP) / dynamic consolidation
+  algorithms with real-world deployment constraints (:mod:`repro.core`,
+  :mod:`repro.constraints`, :mod:`repro.placement`, :mod:`repro.sizing`),
+* per-figure experiment runners for every table and figure
+  (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro import (
+        ConsolidationPlanner, DynamicConsolidation,
+        StochasticConsolidation, SemiStaticConsolidation,
+        build_target_pool, generate_datacenter,
+    )
+
+    traces = generate_datacenter("banking", scale=0.2)
+    pool = build_target_pool("pool", host_count=80)
+    planner = ConsolidationPlanner(traces=traces, datacenter=pool)
+    result = planner.run(DynamicConsolidation())
+    print(result.summary())
+"""
+
+from repro.core import (
+    ConsolidationAlgorithm,
+    ConsolidationPlanner,
+    DynamicConsolidation,
+    PlanningConfig,
+    PlanningContext,
+    SemiStaticConsolidation,
+    StaticConsolidation,
+    StochasticConsolidation,
+    split_window,
+)
+from repro.emulator import ConsolidationEmulator, EmulationResult, PlacementSchedule
+from repro.exceptions import (
+    ConfigurationError,
+    ConstraintViolation,
+    EmulationError,
+    PlacementError,
+    ReproError,
+    TraceError,
+)
+from repro.infrastructure import (
+    Datacenter,
+    PhysicalServer,
+    ServerSpec,
+    VirtualMachine,
+    VMDemand,
+    build_target_pool,
+)
+from repro.placement import Placement
+from repro.workloads import TraceSet, generate_datacenter
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "ConsolidationAlgorithm",
+    "ConsolidationEmulator",
+    "ConsolidationPlanner",
+    "ConstraintViolation",
+    "Datacenter",
+    "DynamicConsolidation",
+    "EmulationError",
+    "EmulationResult",
+    "PhysicalServer",
+    "Placement",
+    "PlacementError",
+    "PlacementSchedule",
+    "PlanningConfig",
+    "PlanningContext",
+    "ReproError",
+    "SemiStaticConsolidation",
+    "ServerSpec",
+    "StaticConsolidation",
+    "StochasticConsolidation",
+    "TraceError",
+    "TraceSet",
+    "VMDemand",
+    "VirtualMachine",
+    "__version__",
+    "build_target_pool",
+    "generate_datacenter",
+    "split_window",
+]

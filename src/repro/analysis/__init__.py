@@ -1,0 +1,75 @@
+"""Trace analysis: burstiness, CDFs, resource ratios, correlation."""
+
+from repro.analysis.candidates import (
+    CandidateScore,
+    rank_candidates,
+    score_candidate,
+)
+from repro.analysis.seasonality import (
+    DIURNAL_LAG,
+    WEEKLY_LAG,
+    SeasonalityProfile,
+    periodic_strength,
+    seasonality_profile,
+)
+from repro.analysis.burstiness import (
+    DEFAULT_INTERVALS_HOURS,
+    BurstinessReport,
+    analyze_burstiness,
+    server_cov,
+    server_peak_to_average,
+)
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.correlation import (
+    PeakClusters,
+    cluster_by_peaks,
+    correlation_matrix,
+    correlation_stability,
+    envelope_similarity,
+    peak_envelope,
+)
+from repro.analysis.resource_ratio import (
+    REFERENCE_RATIO,
+    ResourceRatioReport,
+    analyze_resource_ratio,
+    resource_ratio_series,
+)
+from repro.analysis.statistics import (
+    SIZING_MAX,
+    SIZING_MEAN,
+    coefficient_of_variation,
+    interval_demand,
+    peak_to_average,
+)
+
+__all__ = [
+    "CandidateScore",
+    "DEFAULT_INTERVALS_HOURS",
+    "DIURNAL_LAG",
+    "SeasonalityProfile",
+    "WEEKLY_LAG",
+    "periodic_strength",
+    "rank_candidates",
+    "score_candidate",
+    "seasonality_profile",
+    "BurstinessReport",
+    "EmpiricalCDF",
+    "PeakClusters",
+    "REFERENCE_RATIO",
+    "ResourceRatioReport",
+    "SIZING_MAX",
+    "SIZING_MEAN",
+    "analyze_burstiness",
+    "analyze_resource_ratio",
+    "cluster_by_peaks",
+    "coefficient_of_variation",
+    "correlation_matrix",
+    "correlation_stability",
+    "envelope_similarity",
+    "interval_demand",
+    "peak_envelope",
+    "peak_to_average",
+    "resource_ratio_series",
+    "server_cov",
+    "server_peak_to_average",
+]

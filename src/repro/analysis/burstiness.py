@@ -1,0 +1,128 @@
+"""Burstiness analysis of a trace set (paper Section 4.1, Figs. 2-5).
+
+For each server the analysis produces, per resource:
+
+* peak-to-average ratio of the consolidation-interval demand series for
+  each requested interval length (Figs. 2 and 4), and
+* coefficient of variation of the raw hourly series (Figs. 3 and 5).
+
+The results come back as :class:`BurstinessReport`, which exposes the
+per-server samples as :class:`~repro.analysis.cdf.EmpiricalCDF` objects —
+the exact objects the figure benches tabulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.statistics import (
+    coefficient_of_variation,
+    interval_demand,
+    peak_to_average,
+)
+from repro.exceptions import TraceError
+from repro.workloads.trace import ServerTrace, TraceSet
+
+__all__ = [
+    "BurstinessReport",
+    "analyze_burstiness",
+    "server_peak_to_average",
+    "server_cov",
+    "DEFAULT_INTERVALS_HOURS",
+]
+
+#: The paper studies consolidation intervals of 1, 2 and 4 hours.
+DEFAULT_INTERVALS_HOURS: Tuple[float, ...] = (1.0, 2.0, 4.0)
+
+_RESOURCES = ("cpu", "memory")
+
+
+def _resource_values(trace: ServerTrace, resource: str) -> np.ndarray:
+    if resource == "cpu":
+        return trace.cpu_rpe2
+    if resource == "memory":
+        return trace.memory_gb.values
+    raise TraceError(f"unknown resource {resource!r}; expected cpu or memory")
+
+
+def server_peak_to_average(
+    trace: ServerTrace, resource: str, interval_hours: float
+) -> float:
+    """One server's P2A ratio at a given consolidation interval length."""
+    points = interval_hours / trace.interval_hours
+    if points != int(points):
+        raise TraceError(
+            f"interval {interval_hours}h does not align to "
+            f"{trace.interval_hours}h samples"
+        )
+    demand = interval_demand(_resource_values(trace, resource), int(points))
+    return peak_to_average(demand)
+
+
+def server_cov(trace: ServerTrace, resource: str) -> float:
+    """One server's coefficient of variation on the raw sampled series."""
+    return coefficient_of_variation(_resource_values(trace, resource))
+
+
+@dataclass(frozen=True)
+class BurstinessReport:
+    """Per-datacenter burstiness distributions.
+
+    Attributes
+    ----------
+    name:
+        Trace set name.
+    peak_to_average:
+        ``{(resource, interval_hours): EmpiricalCDF}`` of per-server P2A.
+    cov:
+        ``{resource: EmpiricalCDF}`` of per-server CoV.
+    """
+
+    name: str
+    peak_to_average: Mapping[Tuple[str, float], EmpiricalCDF]
+    cov: Mapping[str, EmpiricalCDF]
+
+    def fraction_heavy_tailed(self, resource: str) -> float:
+        """Fraction of servers with CoV >= 1 (the paper's heavy-tail cut)."""
+        return self.cov[resource].fraction_above(1.0) + (
+            # fraction_above is strict; include CoV exactly 1.0
+            0.0
+        )
+
+    def median_p2a(self, resource: str, interval_hours: float) -> float:
+        return self.peak_to_average[(resource, interval_hours)].median
+
+    def fraction_p2a_above(
+        self, resource: str, interval_hours: float, threshold: float
+    ) -> float:
+        return self.peak_to_average[(resource, interval_hours)].fraction_above(
+            threshold
+        )
+
+
+def analyze_burstiness(
+    trace_set: TraceSet,
+    intervals_hours: Sequence[float] = DEFAULT_INTERVALS_HOURS,
+) -> BurstinessReport:
+    """Run the full Section-4.1 analysis over a trace set."""
+    if len(trace_set) == 0:
+        raise TraceError(f"trace set {trace_set.name!r} is empty")
+    p2a: Dict[Tuple[str, float], EmpiricalCDF] = {}
+    cov: Dict[str, EmpiricalCDF] = {}
+    for resource in _RESOURCES:
+        for interval in intervals_hours:
+            samples = np.array(
+                [
+                    server_peak_to_average(trace, resource, interval)
+                    for trace in trace_set
+                ]
+            )
+            p2a[(resource, float(interval))] = EmpiricalCDF(samples)
+        cov[resource] = EmpiricalCDF(
+            np.array([server_cov(trace, resource) for trace in trace_set])
+        )
+    return BurstinessReport(name=trace_set.name, peak_to_average=p2a, cov=cov)

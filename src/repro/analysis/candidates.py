@@ -1,0 +1,91 @@
+"""Dynamic-placement candidate scoring (Bobroff et al., IM 2007).
+
+The paper's related work (§6.2) credits Bobroff, Kochut and Beaty with
+"a method to identify the servers that are good candidates for dynamic
+placement" — and positions itself as making the consolidation choice
+"at a more coarse level (e.g., data center or cluster) instead of
+individual server".  This module implements the per-server view so the
+two levels can be compared:
+
+A server gains from dynamic placement when its peak demand is far above
+what it needs most of the time *and* that gap is predictable enough to
+act on.  The classic score:
+
+    gain  = (peak - p_q) / peak          # reclaimable fraction
+    score = gain * predictability        # discounted by forecastability
+
+where ``p_q`` is a high percentile (the demand dynamic consolidation
+would size to in a typical interval) and predictability comes from the
+demand's periodic structure (:mod:`repro.analysis.seasonality`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.analysis.seasonality import seasonality_profile
+from repro.exceptions import TraceError
+from repro.workloads.trace import ServerTrace, TraceSet
+
+__all__ = ["CandidateScore", "score_candidate", "rank_candidates"]
+
+
+@dataclass(frozen=True)
+class CandidateScore:
+    """Dynamic-placement suitability of one server."""
+
+    vm_id: str
+    reclaimable_fraction: float
+    predictability: float
+
+    @property
+    def score(self) -> float:
+        return self.reclaimable_fraction * self.predictability
+
+    @property
+    def is_good_candidate(self) -> bool:
+        """Bobroff-style cut: meaningful gain that can be forecast."""
+        return self.reclaimable_fraction >= 0.3 and self.predictability >= 0.4
+
+
+def score_candidate(
+    trace: ServerTrace, *, body_percentile: float = 90.0
+) -> CandidateScore:
+    """Score one server's suitability for dynamic placement."""
+    if not 0 < body_percentile < 100:
+        raise TraceError(
+            f"body_percentile must be in (0, 100), got {body_percentile}"
+        )
+    demand = trace.cpu_rpe2
+    peak = float(demand.max())
+    if peak <= 0:
+        return CandidateScore(
+            vm_id=trace.vm_id, reclaimable_fraction=0.0, predictability=0.0
+        )
+    body = float(np.percentile(demand, body_percentile))
+    reclaimable = max(0.0, (peak - body) / peak)
+    profile = seasonality_profile(trace.vm_id, demand)
+    predictability = max(
+        profile.diurnal_strength, profile.weekly_strength
+    )
+    return CandidateScore(
+        vm_id=trace.vm_id,
+        reclaimable_fraction=reclaimable,
+        predictability=predictability,
+    )
+
+
+def rank_candidates(
+    trace_set: TraceSet, *, body_percentile: float = 90.0
+) -> Tuple[CandidateScore, ...]:
+    """Score every server, best candidates first."""
+    scores = [
+        score_candidate(trace, body_percentile=body_percentile)
+        for trace in trace_set
+    ]
+    return tuple(
+        sorted(scores, key=lambda s: (s.score, s.vm_id), reverse=True)
+    )

@@ -1,0 +1,72 @@
+"""Empirical cumulative distribution functions.
+
+Nearly every figure in the paper is a CDF (Figs. 2-6, 9-12).
+:class:`EmpiricalCDF` wraps a sample with the handful of queries the
+reproduction needs: evaluation at a point, quantiles, tail fractions, and
+a fixed-grid tabulation for text reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TraceError
+
+__all__ = ["EmpiricalCDF"]
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """Right-continuous empirical CDF of a 1-D sample."""
+
+    sorted_values: np.ndarray
+
+    def __post_init__(self) -> None:
+        values = np.asarray(self.sorted_values, dtype=float)
+        if values.ndim != 1 or values.size == 0:
+            raise TraceError("EmpiricalCDF needs a non-empty 1-D sample")
+        if not np.all(np.isfinite(values)):
+            raise TraceError("EmpiricalCDF sample contains NaN or Inf")
+        values = np.sort(values)
+        values.flags.writeable = False
+        object.__setattr__(self, "sorted_values", values)
+
+    @classmethod
+    def from_sample(cls, sample: Sequence[float]) -> "EmpiricalCDF":
+        return cls(sorted_values=np.asarray(sample, dtype=float))
+
+    def __len__(self) -> int:
+        return int(self.sorted_values.size)
+
+    def at(self, x: float) -> float:
+        """F(x) = fraction of the sample <= x."""
+        return float(
+            np.searchsorted(self.sorted_values, x, side="right") / len(self)
+        )
+
+    def fraction_above(self, x: float) -> float:
+        """Fraction of the sample strictly greater than x.
+
+        This is the query the paper's prose uses ("more than 30% of
+        workloads exhibit a ratio greater than 10").
+        """
+        return 1.0 - self.at(x)
+
+    def quantile(self, q: float) -> float:
+        """Inverse CDF at q in [0, 1]."""
+        if not 0 <= q <= 1:
+            raise TraceError(f"quantile must be in [0, 1], got {q}")
+        return float(np.quantile(self.sorted_values, q))
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def tabulate(
+        self, grid: Sequence[float]
+    ) -> Tuple[Tuple[float, float], ...]:
+        """(x, F(x)) pairs over a grid — the text-report form of a figure."""
+        return tuple((float(x), self.at(float(x))) for x in grid)

@@ -1,0 +1,97 @@
+"""Aggregate CPU:memory resource-ratio analysis (paper §4.2, Fig. 6).
+
+For every consolidation interval the total CPU demand (RPE2) and total
+memory demand (GB) across all servers are computed; their ratio is
+compared against a reference server's hardware ratio (the HS23 Elite
+blade: 160 RPE2/GB).  Intervals whose demand ratio falls *below* the
+reference are memory-constrained — the server's memory fills up before
+its CPU does.
+
+The headline result (Observation 3): consolidated datacenters are
+memory-constrained most of the time even on extended-memory blades.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.statistics import interval_demand
+from repro.exceptions import TraceError
+from repro.metrics.catalog import HS23_ELITE
+from repro.workloads.trace import TraceSet
+
+__all__ = [
+    "ResourceRatioReport",
+    "resource_ratio_series",
+    "analyze_resource_ratio",
+    "REFERENCE_RATIO",
+]
+
+#: HS23 Elite blade: 160 RPE2 per GB (Fig. 6 caption).
+REFERENCE_RATIO = HS23_ELITE.cpu_memory_ratio
+
+
+def resource_ratio_series(
+    trace_set: TraceSet, interval_hours: float = 2.0
+) -> np.ndarray:
+    """Aggregate CPU:memory demand ratio per consolidation interval.
+
+    Both resources are sized per interval with the max sizing function
+    (the demand the interval must provision for), aggregated across all
+    servers, and divided.
+    """
+    points = interval_hours / trace_set.interval_hours
+    if points != int(points):
+        raise TraceError(
+            f"interval {interval_hours}h does not align to "
+            f"{trace_set.interval_hours}h samples"
+        )
+    cpu_total = trace_set.aggregate_cpu_rpe2()
+    memory_total = trace_set.aggregate_memory_gb()
+    cpu_per_interval = interval_demand(cpu_total, int(points))
+    memory_per_interval = interval_demand(memory_total, int(points))
+    if np.any(memory_per_interval <= 0):
+        raise TraceError("aggregate memory demand must be positive")
+    return cpu_per_interval / memory_per_interval
+
+
+@dataclass(frozen=True)
+class ResourceRatioReport:
+    """Resource-ratio distribution for one datacenter."""
+
+    name: str
+    interval_hours: float
+    cdf: EmpiricalCDF
+    reference_ratio: float = REFERENCE_RATIO
+
+    @property
+    def fraction_memory_constrained(self) -> float:
+        """Fraction of intervals with demand ratio below the reference."""
+        return self.cdf.at(self.reference_ratio)
+
+    @property
+    def fraction_cpu_constrained(self) -> float:
+        return 1.0 - self.fraction_memory_constrained
+
+    @property
+    def median_ratio(self) -> float:
+        return self.cdf.median
+
+
+def analyze_resource_ratio(
+    trace_set: TraceSet,
+    *,
+    interval_hours: float = 2.0,
+    reference_ratio: float = REFERENCE_RATIO,
+) -> ResourceRatioReport:
+    """Run the Fig. 6 analysis for one trace set."""
+    series = resource_ratio_series(trace_set, interval_hours)
+    return ResourceRatioReport(
+        name=trace_set.name,
+        interval_hours=interval_hours,
+        cdf=EmpiricalCDF(series),
+        reference_ratio=reference_ratio,
+    )

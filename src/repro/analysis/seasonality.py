@@ -1,0 +1,103 @@
+"""Seasonality detection: which variations can semi-static exploit?
+
+Semi-static consolidation "takes advantage of intra-week variations ...
+or intra-month variations" (paper §1); dynamic consolidation feeds on
+what remains after those predictable cycles.  This module quantifies how
+much of a server's demand variance is periodic:
+
+* :func:`periodic_strength` — autocorrelation of the demand series at a
+  given lag (24 h = diurnal, 168 h = weekly),
+* :func:`seasonality_profile` — the full decomposition for one server,
+* :func:`classify_periodicity` — a coarse label (diurnal / weekly /
+  aperiodic) used by reports and the candidate scoring in
+  :mod:`repro.analysis.candidates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import TraceError
+from repro.workloads.trace import HOURS_PER_DAY
+
+__all__ = [
+    "DIURNAL_LAG",
+    "WEEKLY_LAG",
+    "SeasonalityProfile",
+    "periodic_strength",
+    "seasonality_profile",
+]
+
+DIURNAL_LAG = HOURS_PER_DAY
+WEEKLY_LAG = 7 * HOURS_PER_DAY
+
+
+def periodic_strength(values: np.ndarray, lag: int) -> float:
+    """Autocorrelation of a demand series at ``lag`` samples.
+
+    1.0 means the series repeats exactly with that period; ~0 means the
+    period carries no information.  Negative values (anti-periodicity)
+    are clipped to 0 — they offer semi-static planning nothing.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1:
+        raise TraceError("periodic_strength expects a 1-D series")
+    if lag <= 0:
+        raise TraceError(f"lag must be > 0, got {lag}")
+    if values.size < 2 * lag:
+        raise TraceError(
+            f"need at least {2 * lag} samples for lag {lag}, "
+            f"got {values.size}"
+        )
+    head, tail = values[:-lag], values[lag:]
+    if head.std() == 0 or tail.std() == 0:
+        return 0.0
+    correlation = float(np.corrcoef(head, tail)[0, 1])
+    return max(correlation, 0.0)
+
+
+@dataclass(frozen=True)
+class SeasonalityProfile:
+    """Periodic structure of one server's demand."""
+
+    vm_id: str
+    diurnal_strength: float
+    weekly_strength: float
+    cov: float
+
+    @property
+    def label(self) -> str:
+        """Coarse classification for reports.
+
+        ``diurnal`` / ``weekly`` when the respective cycle explains the
+        series well; ``aperiodic`` when neither does — the servers whose
+        variability only dynamic consolidation can chase.
+        """
+        if self.diurnal_strength >= 0.5:
+            return "diurnal"
+        if self.weekly_strength >= 0.5:
+            return "weekly"
+        return "aperiodic"
+
+
+def seasonality_profile(
+    vm_id: str, values: np.ndarray
+) -> SeasonalityProfile:
+    """Compute the seasonality profile of one demand series."""
+    values = np.asarray(values, dtype=float)
+    mean = values.mean()
+    cov = float(values.std() / mean) if mean > 0 else 0.0
+    diurnal = periodic_strength(values, DIURNAL_LAG)
+    weekly = (
+        periodic_strength(values, WEEKLY_LAG)
+        if values.size >= 2 * WEEKLY_LAG
+        else 0.0
+    )
+    return SeasonalityProfile(
+        vm_id=vm_id,
+        diurnal_strength=diurnal,
+        weekly_strength=weekly,
+        cov=cov,
+    )

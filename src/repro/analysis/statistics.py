@@ -1,0 +1,105 @@
+"""Core demand statistics used throughout the paper's trace analysis.
+
+The paper's two burstiness metrics (Section 4.1):
+
+* **Peak-to-Average ratio** — computed over *consolidation-interval
+  demands*: the trace is first collapsed into one demand value per
+  consolidation interval (sizing function = max within the interval),
+  then the ratio of the peak to the mean of that demand series is taken.
+  Longer intervals raise the average (every interval demand is a maximum
+  over more samples) and therefore lower the ratio — exactly the Fig. 2
+  trend across 1 h / 2 h / 4 h intervals.
+* **Coefficient of Variation** — std/mean of the raw sampled series; a
+  CoV >= 1 marks a heavy-tailed server.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.exceptions import TraceError
+
+__all__ = [
+    "interval_demand",
+    "peak_to_average",
+    "coefficient_of_variation",
+    "SIZING_MAX",
+    "SIZING_MEAN",
+]
+
+
+def SIZING_MAX(window: np.ndarray) -> float:
+    """The paper's default sizing function: max over the window."""
+    return float(window.max())
+
+
+def SIZING_MEAN(window: np.ndarray) -> float:
+    """Mean sizing — the idealized dynamic-consolidation lower bound."""
+    return float(window.mean())
+
+
+def interval_demand(
+    values: np.ndarray,
+    points_per_interval: int,
+    sizing: Callable[[np.ndarray], float] = SIZING_MAX,
+) -> np.ndarray:
+    """Collapse a sampled trace into one demand value per interval.
+
+    Parameters
+    ----------
+    values:
+        Raw sampled trace (e.g. hourly CPU demand).
+    points_per_interval:
+        Samples per consolidation interval (2 for 2 h intervals on
+        hourly data).  The trace length must be a multiple of it.
+    sizing:
+        Sizing function applied to each interval window (paper default:
+        max; stochastic algorithms use percentiles).
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise TraceError("interval_demand expects a non-empty 1-D trace")
+    if points_per_interval <= 0:
+        raise TraceError(
+            f"points_per_interval must be > 0, got {points_per_interval}"
+        )
+    if values.size % points_per_interval != 0:
+        raise TraceError(
+            f"trace length {values.size} is not a multiple of "
+            f"{points_per_interval} points per interval"
+        )
+    windows = values.reshape(-1, points_per_interval)
+    if sizing is SIZING_MAX:
+        return windows.max(axis=1)  # vectorized fast path
+    if sizing is SIZING_MEAN:
+        return windows.mean(axis=1)
+    return np.array([sizing(window) for window in windows])
+
+
+def peak_to_average(values: np.ndarray) -> float:
+    """Peak-to-average ratio of a demand series.
+
+    Returns 1.0 for an all-zero series (a flat idle server is not bursty).
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise TraceError("peak_to_average expects a non-empty 1-D series")
+    mean = values.mean()
+    if mean == 0:
+        return 1.0
+    return float(values.max() / mean)
+
+
+def coefficient_of_variation(values: np.ndarray) -> float:
+    """CoV (std/mean) of a demand series; 0.0 for an all-zero series."""
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 1 or values.size == 0:
+        raise TraceError(
+            "coefficient_of_variation expects a non-empty 1-D series"
+        )
+    mean = values.mean()
+    if mean == 0:
+        return 0.0
+    return float(values.std() / mean)

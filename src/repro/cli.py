@@ -1,0 +1,281 @@
+"""Command-line interface: ``repro-vmc``.
+
+Subcommands:
+
+* ``repro-vmc list`` — list reproducible figures/tables.
+* ``repro-vmc figure fig7 [--scale 0.25]`` — run one figure experiment
+  and print its text report.
+* ``repro-vmc analyze banking`` — Section-4 analysis for one datacenter.
+* ``repro-vmc compare banking`` — Section-5 comparison for one datacenter.
+* ``repro-vmc candidates banking`` — Bobroff-style dynamic-placement
+  candidate ranking.
+* ``repro-vmc intervals banking`` — §7 consolidation-interval study.
+* ``repro-vmc migration-ladder`` — §7 migration-technology reservation
+  ladder.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.comparison import run_comparison
+from repro.experiments.figures import list_figures, run_figure
+from repro.experiments.formatting import format_table
+from repro.experiments.settings import ExperimentSettings
+from repro.workloads.datacenters import generate_datacenter
+from repro.analysis import analyze_burstiness, analyze_resource_ratio, rank_candidates
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-vmc",
+        description=(
+            "Reproduction of 'Virtual Machine Consolidation in the Wild' "
+            "(Middleware 2014)"
+        ),
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=None,
+        help="datacenter scale factor (default: REPRO_SCALE env or 0.25)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list reproducible figures/tables")
+
+    figure = subparsers.add_parser("figure", help="run one figure experiment")
+    figure.add_argument("figure_id", help="e.g. fig7, table2, obs4")
+
+    analyze = subparsers.add_parser(
+        "analyze", help="Section-4 trace analysis for one datacenter"
+    )
+    analyze.add_argument("datacenter", help="banking | airlines | ...")
+
+    compare = subparsers.add_parser(
+        "compare", help="Section-5 scheme comparison for one datacenter"
+    )
+    compare.add_argument("datacenter", help="banking | airlines | ...")
+
+    candidates = subparsers.add_parser(
+        "candidates",
+        help="rank servers by dynamic-placement suitability (Bobroff)",
+    )
+    candidates.add_argument("datacenter", help="banking | airlines | ...")
+    candidates.add_argument(
+        "--top", type=int, default=10, help="rows to print"
+    )
+
+    intervals = subparsers.add_parser(
+        "intervals", help="consolidation-interval study (paper §7)"
+    )
+    intervals.add_argument("datacenter", help="banking | airlines | ...")
+
+    subparsers.add_parser(
+        "migration-ladder",
+        help="required reservation per migration technology (paper §7)",
+    )
+
+    validate = subparsers.add_parser(
+        "validate",
+        help="check the reproduction against the paper's bands",
+    )
+    validate.add_argument(
+        "--fast",
+        action="store_true",
+        help="trace-level checks only (skip the scheme comparison)",
+    )
+
+    report = subparsers.add_parser(
+        "report", help="run every experiment and emit a markdown report"
+    )
+    report.add_argument(
+        "--out", default=None, help="write to a file instead of stdout"
+    )
+    report.add_argument(
+        "--figures",
+        nargs="*",
+        default=None,
+        help="subset of figure ids (default: all, in paper order)",
+    )
+    return parser
+
+
+def _settings(args: argparse.Namespace) -> ExperimentSettings:
+    if args.scale is None:
+        return ExperimentSettings()
+    return ExperimentSettings(scale=args.scale)
+
+
+def _cmd_list() -> int:
+    for figure_id in list_figures():
+        print(figure_id)
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    print(run_figure(args.figure_id, _settings(args)))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    trace_set = generate_datacenter(args.datacenter, scale=settings.scale)
+    burstiness = analyze_burstiness(trace_set)
+    ratio = analyze_resource_ratio(trace_set)
+    print(f"{trace_set.name}: {len(trace_set)} servers, "
+          f"mean CPU util {trace_set.mean_cpu_utilization():.1%}")
+    for resource in ("cpu", "memory"):
+        p2a = burstiness.peak_to_average[(resource, 1.0)]
+        cov = burstiness.cov[resource]
+        print(
+            f"  {resource}: P2A median {p2a.median:.2f}, "
+            f"P2A>5 {p2a.fraction_above(5):.0%}, "
+            f"CoV>=1 {cov.fraction_above(1.0):.0%}"
+        )
+    print(
+        f"  CPU:memory ratio median {ratio.median_ratio:.0f} "
+        f"(memory-constrained {ratio.fraction_memory_constrained:.0%} "
+        f"of intervals; HS23 reference {ratio.reference_ratio:.0f})"
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    comparison = run_comparison(args.datacenter, settings)
+    rows = [
+        (
+            r["scheme"],
+            r["servers"],
+            f"{r['space_norm']:.2f}",
+            f"{r['power_norm']:.2f}",
+            f"{r['contention']:.4f}",
+            r["migrations"],
+        )
+        for r in comparison.summary_rows()
+    ]
+    print(
+        format_table(
+            ["scheme", "servers", "space", "power", "contention", "migrations"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_candidates(args: argparse.Namespace) -> int:
+    settings = _settings(args)
+    trace_set = generate_datacenter(args.datacenter, scale=settings.scale)
+    ranked = rank_candidates(trace_set)
+    good = sum(1 for s in ranked if s.is_good_candidate)
+    print(
+        f"{trace_set.name}: {good}/{len(ranked)} servers are good "
+        "dynamic-placement candidates (Bobroff-style cut)"
+    )
+    rows = [
+        (
+            s.vm_id,
+            f"{s.reclaimable_fraction:.2f}",
+            f"{s.predictability:.2f}",
+            f"{s.score:.2f}",
+            "yes" if s.is_good_candidate else "no",
+        )
+        for s in ranked[: args.top]
+    ]
+    print(
+        format_table(
+            ["vm", "reclaimable", "predictability", "score", "good"], rows
+        )
+    )
+    return 0
+
+
+def _cmd_intervals(args: argparse.Namespace) -> int:
+    from repro.experiments.intervals import run_interval_study
+
+    settings = _settings(args)
+    points = run_interval_study(args.datacenter, settings)
+    rows = [
+        (
+            f"{p.interval_hours:.0f}h",
+            p.provisioned_servers,
+            f"{p.energy_kwh:.0f}",
+            p.total_migrations,
+            f"{p.contention_time_fraction:.4f}",
+        )
+        for p in points
+    ]
+    print(
+        format_table(
+            ["interval", "servers", "energy_kwh", "migrations", "contention"],
+            rows,
+        )
+    )
+    return 0
+
+
+def _cmd_migration_ladder() -> int:
+    from repro.migration.whatif import MIGRATION_VARIANTS, reservation_ladder
+
+    descriptions = {v.key: v.description for v in MIGRATION_VARIANTS}
+    rows = [
+        (key, f"{reservation:.0%}", descriptions[key])
+        for key, reservation in reservation_ladder()
+    ]
+    print(format_table(["technology", "reservation", "description"], rows))
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.validate import validate_reproduction
+
+    report = validate_reproduction(
+        _settings(args), include_comparison=not args.fast
+    )
+    print(report.describe())
+    return 0 if report.passed else 1
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.report import generate_report
+
+    report = generate_report(_settings(args), figures=args.figures)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(report)
+        print(f"wrote {args.out}")
+    else:
+        print(report)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "figure":
+        return _cmd_figure(args)
+    if args.command == "analyze":
+        return _cmd_analyze(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "candidates":
+        return _cmd_candidates(args)
+    if args.command == "intervals":
+        return _cmd_intervals(args)
+    if args.command == "migration-ladder":
+        return _cmd_migration_ladder()
+    if args.command == "report":
+        return _cmd_report(args)
+    if args.command == "validate":
+        return _cmd_validate(args)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

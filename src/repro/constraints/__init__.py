@@ -1,0 +1,30 @@
+"""Real-world deployment constraints for consolidation placement."""
+
+from repro.constraints.affinity import (
+    AntiColocate,
+    Colocate,
+    ExcludeHosts,
+    PinToHost,
+)
+from repro.constraints.base import Constraint, PlacementContext
+from repro.constraints.manager import ConstraintSet
+from repro.constraints.topology import (
+    PinToRack,
+    PinToSubnet,
+    SameRack,
+    SameSubnet,
+)
+
+__all__ = [
+    "AntiColocate",
+    "Colocate",
+    "Constraint",
+    "ConstraintSet",
+    "ExcludeHosts",
+    "PinToHost",
+    "PinToRack",
+    "PinToSubnet",
+    "PlacementContext",
+    "SameRack",
+    "SameSubnet",
+]

@@ -1,0 +1,127 @@
+"""Host-level inclusion/exclusion constraints.
+
+The paper's examples: "affinity between two virtual machines, affinity
+between a VM and a host ... constraints that place two VMs on the same
+host ... or pin a VM to a specific host".
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable
+
+from repro.constraints.base import Constraint, PlacementContext
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.server import PhysicalServer
+
+__all__ = ["Colocate", "AntiColocate", "PinToHost", "ExcludeHosts"]
+
+
+class Colocate(Constraint):
+    """All listed VMs must land on the same host.
+
+    Greedy semantics: the first member placed fixes the host for the
+    rest.  An unplaced partner never blocks a placement.
+    """
+
+    def __init__(self, *vm_ids: str) -> None:
+        ids = self._require_vms(*vm_ids)
+        if len(ids) < 2:
+            raise ConfigurationError("Colocate needs at least two distinct VMs")
+        self._vm_ids = ids
+
+    @property
+    def vm_ids(self) -> FrozenSet[str]:
+        return self._vm_ids
+
+    def allows(
+        self, vm_id: str, host: PhysicalServer, context: PlacementContext
+    ) -> bool:
+        for partner in self._vm_ids:
+            if partner == vm_id:
+                continue
+            partner_host = context.host_of(partner)
+            if partner_host is not None and partner_host != host.host_id:
+                return False
+        return True
+
+    def describe(self) -> str:
+        return f"colocate({', '.join(sorted(self._vm_ids))})"
+
+
+class AntiColocate(Constraint):
+    """No two of the listed VMs may share a host.
+
+    The classic HA rule: replicas of a service must not die together.
+    """
+
+    def __init__(self, *vm_ids: str) -> None:
+        ids = self._require_vms(*vm_ids)
+        if len(ids) < 2:
+            raise ConfigurationError(
+                "AntiColocate needs at least two distinct VMs"
+            )
+        self._vm_ids = ids
+
+    @property
+    def vm_ids(self) -> FrozenSet[str]:
+        return self._vm_ids
+
+    def allows(
+        self, vm_id: str, host: PhysicalServer, context: PlacementContext
+    ) -> bool:
+        for partner in self._vm_ids:
+            if partner == vm_id:
+                continue
+            if context.host_of(partner) == host.host_id:
+                return False
+        return True
+
+    def describe(self) -> str:
+        return f"anti-colocate({', '.join(sorted(self._vm_ids))})"
+
+
+class PinToHost(Constraint):
+    """The VM may only run on one specific host."""
+
+    def __init__(self, vm_id: str, host_id: str) -> None:
+        self._vm_ids = self._require_vms(vm_id)
+        if not host_id:
+            raise ConfigurationError("PinToHost needs a non-empty host_id")
+        self.host_id = host_id
+
+    @property
+    def vm_ids(self) -> FrozenSet[str]:
+        return self._vm_ids
+
+    def allows(
+        self, vm_id: str, host: PhysicalServer, context: PlacementContext
+    ) -> bool:
+        return host.host_id == self.host_id
+
+    def describe(self) -> str:
+        (vm_id,) = self._vm_ids
+        return f"pin({vm_id} -> {self.host_id})"
+
+
+class ExcludeHosts(Constraint):
+    """The VM must avoid the listed hosts (license or compliance zones)."""
+
+    def __init__(self, vm_id: str, host_ids: Iterable[str]) -> None:
+        self._vm_ids = self._require_vms(vm_id)
+        excluded = frozenset(host_ids)
+        if not excluded:
+            raise ConfigurationError("ExcludeHosts needs at least one host")
+        self.host_ids = excluded
+
+    @property
+    def vm_ids(self) -> FrozenSet[str]:
+        return self._vm_ids
+
+    def allows(
+        self, vm_id: str, host: PhysicalServer, context: PlacementContext
+    ) -> bool:
+        return host.host_id not in self.host_ids
+
+    def describe(self) -> str:
+        (vm_id,) = self._vm_ids
+        return f"exclude({vm_id} from {', '.join(sorted(self.host_ids))})"

@@ -1,0 +1,85 @@
+"""Deployment constraint framework (paper §2.2.4).
+
+"Enterprise applications often have deployment constraints, which
+consolidation algorithms need to take into account.  Constraints are
+broadly classified into inclusion and exclusion constraints."
+
+A :class:`Constraint` answers one question during placement: *may this VM
+go on this host, given what has been placed so far?*  Constraints are
+evaluated greedily (placement algorithms consult them per candidate
+host) and re-validated on the finished placement, so an ordering that
+painted itself into a corner is reported rather than silently violated.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import FrozenSet, Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.datacenter import Datacenter
+from repro.infrastructure.server import PhysicalServer
+
+__all__ = ["Constraint", "PlacementContext"]
+
+
+class PlacementContext:
+    """What a constraint may inspect while placement is in progress.
+
+    Attributes
+    ----------
+    assignment:
+        VM → host_id for the VMs placed so far (read-only view).
+    datacenter:
+        Host topology (for rack/subnet constraints).
+    """
+
+    __slots__ = ("assignment", "datacenter")
+
+    def __init__(
+        self, assignment: Mapping[str, str], datacenter: Datacenter
+    ) -> None:
+        self.assignment = assignment
+        self.datacenter = datacenter
+
+    def host_of(self, vm_id: str) -> "str | None":
+        """Host the VM is currently assigned to, or None if unplaced."""
+        return self.assignment.get(vm_id)
+
+
+class Constraint(ABC):
+    """One deployment rule over a fixed set of VMs."""
+
+    @property
+    @abstractmethod
+    def vm_ids(self) -> FrozenSet[str]:
+        """The VMs this constraint mentions (used for indexing)."""
+
+    @abstractmethod
+    def allows(
+        self, vm_id: str, host: PhysicalServer, context: PlacementContext
+    ) -> bool:
+        """May ``vm_id`` be placed on ``host`` in the current context?
+
+        Must be *monotone with respect to information*: a constraint may
+        allow a placement that later additions make violating (the final
+        validation pass catches that), but it must never forbid a
+        placement that is definitely legal.
+        """
+
+    @abstractmethod
+    def describe(self) -> str:
+        """Human-readable form for violation reports."""
+
+    def applies_to(self, vm_id: str) -> bool:
+        return vm_id in self.vm_ids
+
+    @staticmethod
+    def _require_vms(*vm_ids: str) -> FrozenSet[str]:
+        """Validate and freeze a VM id list (shared by subclasses)."""
+        if not vm_ids:
+            raise ConfigurationError("constraint needs at least one VM id")
+        for vm_id in vm_ids:
+            if not vm_id:
+                raise ConfigurationError("constraint VM ids must be non-empty")
+        return frozenset(vm_ids)

@@ -1,0 +1,96 @@
+"""Constraint sets: indexing, feasibility checks, final validation."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+from repro.constraints.base import Constraint, PlacementContext
+from repro.exceptions import ConstraintViolation
+from repro.infrastructure.datacenter import Datacenter
+from repro.infrastructure.server import PhysicalServer
+
+__all__ = ["ConstraintSet"]
+
+
+class ConstraintSet:
+    """An indexed collection of constraints.
+
+    Placement algorithms call :meth:`feasible` per (VM, candidate host);
+    the index keeps that O(constraints touching this VM) instead of
+    O(all constraints).  After placement, :meth:`validate` re-checks
+    every constraint against the finished assignment and raises
+    :class:`~repro.exceptions.ConstraintViolation` with the full list of
+    violations — greedy checks are necessary but not sufficient for
+    group constraints like Colocate.
+    """
+
+    def __init__(self, constraints: Iterable[Constraint] = ()) -> None:
+        self._constraints: List[Constraint] = []
+        self._by_vm: Dict[str, List[Constraint]] = defaultdict(list)
+        for constraint in constraints:
+            self.add(constraint)
+
+    def add(self, constraint: Constraint) -> None:
+        self._constraints.append(constraint)
+        for vm_id in constraint.vm_ids:
+            self._by_vm[vm_id].append(constraint)
+
+    def __len__(self) -> int:
+        return len(self._constraints)
+
+    def __bool__(self) -> bool:
+        return bool(self._constraints)
+
+    @property
+    def constraints(self) -> Tuple[Constraint, ...]:
+        return tuple(self._constraints)
+
+    def constraints_for(self, vm_id: str) -> Tuple[Constraint, ...]:
+        return tuple(self._by_vm.get(vm_id, ()))
+
+    def feasible(
+        self,
+        vm_id: str,
+        host: PhysicalServer,
+        assignment: Mapping[str, str],
+        datacenter: Datacenter,
+    ) -> bool:
+        """True if no constraint touching ``vm_id`` forbids ``host``."""
+        relevant = self._by_vm.get(vm_id)
+        if not relevant:
+            return True
+        context = PlacementContext(assignment, datacenter)
+        return all(c.allows(vm_id, host, context) for c in relevant)
+
+    def violations(
+        self, assignment: Mapping[str, str], datacenter: Datacenter
+    ) -> List[str]:
+        """Descriptions of every constraint the assignment violates.
+
+        Constraints mentioning unplaced VMs are skipped — an unplaced VM
+        is a placement failure, not a constraint violation.
+        """
+        context = PlacementContext(assignment, datacenter)
+        found = []
+        for constraint in self._constraints:
+            placed = [v for v in constraint.vm_ids if v in assignment]
+            broken = any(
+                not constraint.allows(
+                    vm_id, datacenter.host(assignment[vm_id]), context
+                )
+                for vm_id in placed
+            )
+            if broken:
+                found.append(constraint.describe())
+        return found
+
+    def validate(
+        self, assignment: Mapping[str, str], datacenter: Datacenter
+    ) -> None:
+        """Raise :class:`ConstraintViolation` if any constraint is broken."""
+        found = self.violations(assignment, datacenter)
+        if found:
+            raise ConstraintViolation(
+                f"{len(found)} constraint(s) violated: " + "; ".join(found)
+            )

@@ -1,0 +1,123 @@
+"""Rack / subnet topology constraints.
+
+The paper's inclusion constraints extend beyond hosts: "affinity between
+a VM and a subnet ... place two VMs on the same host/subnet/rack or pin a
+VM to a specific host/subnet/rack".  Hosts without the relevant topology
+label fail closed: a constraint about racks cannot be satisfied by a
+host whose rack is unknown.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, FrozenSet, Optional
+
+from repro.constraints.base import Constraint, PlacementContext
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.server import PhysicalServer
+
+__all__ = ["SameRack", "SameSubnet", "PinToRack", "PinToSubnet"]
+
+
+def _rack_of(host: PhysicalServer) -> Optional[str]:
+    return host.rack
+
+
+def _subnet_of(host: PhysicalServer) -> Optional[str]:
+    return host.subnet
+
+
+class _SameZone(Constraint):
+    """Shared implementation: all VMs in the same topology zone."""
+
+    _zone_of: Callable[[PhysicalServer], Optional[str]]
+    _zone_name: str
+
+    def __init__(self, *vm_ids: str) -> None:
+        ids = self._require_vms(*vm_ids)
+        if len(ids) < 2:
+            raise ConfigurationError(
+                f"{type(self).__name__} needs at least two distinct VMs"
+            )
+        self._vm_ids = ids
+
+    @property
+    def vm_ids(self) -> FrozenSet[str]:
+        return self._vm_ids
+
+    def allows(
+        self, vm_id: str, host: PhysicalServer, context: PlacementContext
+    ) -> bool:
+        zone = type(self)._zone_of(host)
+        if zone is None:
+            return False  # unknown topology fails closed
+        for partner in self._vm_ids:
+            if partner == vm_id:
+                continue
+            partner_host_id = context.host_of(partner)
+            if partner_host_id is None:
+                continue
+            partner_host = context.datacenter.host(partner_host_id)
+            if type(self)._zone_of(partner_host) != zone:
+                return False
+        return True
+
+    def describe(self) -> str:
+        return (
+            f"same-{self._zone_name}({', '.join(sorted(self._vm_ids))})"
+        )
+
+
+class SameRack(_SameZone):
+    """All listed VMs must share a rack (low-latency east-west traffic)."""
+
+    _zone_of = staticmethod(_rack_of)
+    _zone_name = "rack"
+
+
+class SameSubnet(_SameZone):
+    """All listed VMs must share a subnet (no re-IP on migration)."""
+
+    _zone_of = staticmethod(_subnet_of)
+    _zone_name = "subnet"
+
+
+class _PinToZone(Constraint):
+    """Shared implementation: one VM pinned to a topology zone."""
+
+    _zone_of: Callable[[PhysicalServer], Optional[str]]
+    _zone_name: str
+
+    def __init__(self, vm_id: str, zone: str) -> None:
+        self._vm_ids = self._require_vms(vm_id)
+        if not zone:
+            raise ConfigurationError(
+                f"{type(self).__name__} needs a non-empty zone label"
+            )
+        self.zone = zone
+
+    @property
+    def vm_ids(self) -> FrozenSet[str]:
+        return self._vm_ids
+
+    def allows(
+        self, vm_id: str, host: PhysicalServer, context: PlacementContext
+    ) -> bool:
+        return type(self)._zone_of(host) == self.zone
+
+    def describe(self) -> str:
+        (vm_id,) = self._vm_ids
+        return f"pin-{self._zone_name}({vm_id} -> {self.zone})"
+
+
+class PinToRack(_PinToZone):
+    """The VM may only run in one rack."""
+
+    _zone_of = staticmethod(_rack_of)
+    _zone_name = "rack"
+
+
+class PinToSubnet(_PinToZone):
+    """The VM may only run in one subnet."""
+
+    _zone_of = staticmethod(_subnet_of)
+    _zone_name = "subnet"

@@ -1,0 +1,26 @@
+"""Consolidation algorithms: static, semi-static, stochastic, dynamic."""
+
+from repro.core.base import (
+    ConsolidationAlgorithm,
+    PlanningConfig,
+    PlanningContext,
+)
+from repro.core.dynamic import DynamicConsolidation
+from repro.core.planner import ConsolidationPlanner, split_window
+from repro.core.powercap import PowerBudgetedConsolidation
+from repro.core.semistatic import SemiStaticConsolidation
+from repro.core.static import StaticConsolidation
+from repro.core.stochastic import StochasticConsolidation
+
+__all__ = [
+    "ConsolidationAlgorithm",
+    "ConsolidationPlanner",
+    "DynamicConsolidation",
+    "PlanningConfig",
+    "PlanningContext",
+    "PowerBudgetedConsolidation",
+    "SemiStaticConsolidation",
+    "StaticConsolidation",
+    "StochasticConsolidation",
+    "split_window",
+]

@@ -1,0 +1,131 @@
+"""Consolidation algorithm interface and planning context.
+
+Every consolidation variant in the paper consumes the same inputs — a
+monitoring *history* window to plan from, an *evaluation* window to be
+judged on, a target host pool, and deployment constraints — and produces
+a :class:`~repro.emulator.schedule.PlacementSchedule` covering the
+evaluation window.  The planning/evaluation split matters: algorithms
+may only look at the history (and, for dynamic consolidation, at the
+evaluation prefix that has already "happened"); sizing against data the
+scheme could not have seen would hide exactly the prediction-error
+contention the paper measures.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from typing import Optional
+
+from repro.constraints.manager import ConstraintSet
+from repro.emulator.schedule import PlacementSchedule
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.datacenter import Datacenter
+from repro.sizing.estimator import VirtualizationOverhead
+from repro.sizing.network import DiskDemandModel, NetworkDemandModel
+from repro.workloads.trace import TraceSet
+
+__all__ = ["PlanningConfig", "PlanningContext", "ConsolidationAlgorithm"]
+
+
+@dataclass(frozen=True)
+class PlanningConfig:
+    """Knobs shared by all consolidation variants (paper Table 3).
+
+    Attributes
+    ----------
+    utilization_bound:
+        Fraction of each host usable by *dynamic* consolidation; the
+        remainder is the live-migration reservation (baseline 0.8 = 20%
+        reserved).  Semi-static variants relocate during downtime and do
+        not reserve migration headroom.
+    interval_hours:
+        Dynamic consolidation interval (baseline: 2 h → 168 intervals
+        over the 14-day window).
+    overhead:
+        Virtualization overhead / dedup model used during sizing.
+    network:
+        Optional link-bandwidth demand model; when set, every algorithm
+        reserves network per VM and placement treats the host link as a
+        feasibility constraint (paper §3.1).
+    """
+
+    utilization_bound: float = 0.8
+    interval_hours: float = 2.0
+    overhead: VirtualizationOverhead = field(
+        default_factory=VirtualizationOverhead
+    )
+    network: Optional[NetworkDemandModel] = None
+    disk: Optional[DiskDemandModel] = None
+
+    def __post_init__(self) -> None:
+        if not 0 < self.utilization_bound <= 1:
+            raise ConfigurationError(
+                f"utilization_bound must be in (0, 1], got "
+                f"{self.utilization_bound}"
+            )
+        if self.interval_hours <= 0:
+            raise ConfigurationError(
+                f"interval_hours must be > 0, got {self.interval_hours}"
+            )
+
+
+@dataclass(frozen=True)
+class PlanningContext:
+    """Everything a consolidation algorithm may look at."""
+
+    history: TraceSet
+    evaluation: TraceSet
+    datacenter: Datacenter
+    constraints: ConstraintSet = field(default_factory=ConstraintSet)
+    config: PlanningConfig = field(default_factory=PlanningConfig)
+
+    def __post_init__(self) -> None:
+        if set(self.history.vm_ids) != set(self.evaluation.vm_ids):
+            raise ConfigurationError(
+                "history and evaluation windows must cover the same VMs"
+            )
+        if self.history.interval_hours != self.evaluation.interval_hours:
+            raise ConfigurationError(
+                "history and evaluation windows must share the sampling "
+                "interval"
+            )
+        ratio = self.config.interval_hours / self.evaluation.interval_hours
+        if ratio != int(ratio):
+            raise ConfigurationError(
+                f"consolidation interval {self.config.interval_hours}h does "
+                f"not align to {self.evaluation.interval_hours}h samples"
+            )
+        if self.evaluation.duration_hours % self.config.interval_hours != 0:
+            raise ConfigurationError(
+                "evaluation window must be a whole number of consolidation "
+                "intervals"
+            )
+
+    @property
+    def n_intervals(self) -> int:
+        """Consolidation intervals in the evaluation window (paper: 168)."""
+        return int(
+            self.evaluation.duration_hours // self.config.interval_hours
+        )
+
+    @property
+    def points_per_interval(self) -> int:
+        return int(
+            self.config.interval_hours // self.evaluation.interval_hours
+        )
+
+
+class ConsolidationAlgorithm(ABC):
+    """One consolidation variant; stateless across :meth:`plan` calls."""
+
+    #: Display name used in reports and figure legends.
+    name: str = "unnamed"
+
+    @abstractmethod
+    def plan(self, context: PlanningContext) -> PlacementSchedule:
+        """Produce a placement schedule covering the evaluation window."""
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"{type(self).__name__}(name={self.name!r})"

@@ -1,0 +1,394 @@
+"""Dynamic VM consolidation (paper §2.2.3, §5.1).
+
+"We use a state-of-the-art dynamic consolidation scheme that compares
+various adaptation actions possible and selects the one with least cost.
+The actual sizing function used in this case is the estimated peak
+demand in the consolidation window."
+
+The implementation captures the salient features of pMapper (Verma et
+al., Middleware'08) and the cost-sensitive adaptation engine (Jung et
+al., Middleware'09):
+
+* **Prediction** — each VM's peak demand for the next interval is
+  predicted from its demand history (default:
+  :class:`~repro.sizing.prediction.PeriodicPeakPredictor`).  Prediction
+  error, not packing, is what causes the contention of Figs. 8/9.
+* **Sticky re-placement** — each interval starts from the previous
+  placement; a VM moves only when its current host cannot carry its new
+  size, so gratuitous migrations are avoided.
+* **Cost-aware host vacating** — lightly-loaded hosts are emptied into
+  loaded ones and powered off only when the interval's idle-power saving
+  exceeds the live-migration cost of the evicted VMs.
+* **Migration reservation** — every host is packed only to the
+  utilization bound (Table 3 baseline: 0.8); the reserve keeps the
+  migrations this scheme depends on reliable (Observation 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.base import ConsolidationAlgorithm, PlanningContext
+from repro.emulator.schedule import PlacementSchedule
+from repro.infrastructure.datacenter import Datacenter
+from repro.infrastructure.server import PhysicalServer
+from repro.infrastructure.vm import VMDemand
+from repro.migration.cost import MigrationCostModel
+from repro.placement.binpacking import Bin, pack
+from repro.placement.plan import Placement
+from repro.sizing.estimator import SizeEstimator
+from repro.sizing.functions import MaxSizing
+from repro.sizing.prediction import PeriodicPeakPredictor, Predictor
+
+__all__ = ["DynamicConsolidation"]
+
+#: Idle power assumed when a host has no catalog model attached (W).
+_DEFAULT_IDLE_WATTS = 160.0
+
+
+@dataclass
+class DynamicConsolidation(ConsolidationAlgorithm):
+    """Predicted-peak sizing + sticky, cost-aware per-interval packing."""
+
+    name: str = "dynamic"
+    predictor: Predictor = field(
+        default_factory=lambda: PeriodicPeakPredictor(lookback_days=2)
+    )
+    migration_cost: MigrationCostModel = field(
+        default_factory=MigrationCostModel
+    )
+    #: Disable to vacate hosts whenever physically possible (ablation).
+    consider_migration_cost: bool = True
+    #: Intra-interval CPU burst premium.  The deployed system provisions
+    #: for the peak of fine-grained (minute-level) samples inside each
+    #: 2 h window; hourly averages smooth those bursts away.  A
+    #: long-window max (semi-static sizing) already sits on a burst hour
+    #: and needs no such premium, so this is a dynamic-only factor.
+    #: Memory carries no premium — committed memory barely moves at
+    #: sub-hour timescales (Observation 2).
+    cpu_burst_factor: float = 1.12
+    #: Cap on consolidation sweeps per interval (each sweep is a full
+    #: pass over active hosts; convergence is quick in practice).
+    max_vacate_sweeps: int = 3
+
+    def __post_init__(self) -> None:
+        self._cost_cache: Dict[float, float] = {}
+
+    # ------------------------------------------------------------------
+
+    def plan(self, context: PlanningContext) -> PlacementSchedule:
+        points = context.points_per_interval
+        history_points = context.history.n_points
+        vm_ids = list(context.evaluation.vm_ids)
+        class_of = {
+            trace.vm_id: trace.vm.workload_class
+            for trace in context.evaluation
+        }
+        cpu_full = np.hstack(
+            [
+                context.history.cpu_rpe2_matrix(),
+                context.evaluation.cpu_rpe2_matrix(),
+            ]
+        )
+        memory_full = np.hstack(
+            [
+                context.history.memory_gb_matrix(),
+                context.evaluation.memory_gb_matrix(),
+            ]
+        )
+        estimator = SizeEstimator(
+            sizing=MaxSizing(),
+            overhead=context.config.overhead,
+            network=context.config.network,
+            disk=context.config.disk,
+        )
+        placements: List[Placement] = []
+        previous: Optional[Placement] = None
+        for interval in range(context.n_intervals):
+            now = history_points + interval * points
+            demands = self._predict_interval(
+                vm_ids, cpu_full, memory_full, now, points, estimator,
+                class_of,
+            )
+            placement = self._place_interval(
+                demands, context, previous
+            )
+            placements.append(placement)
+            previous = placement
+        return PlacementSchedule.periodic(
+            placements, context.config.interval_hours
+        )
+
+    # ------------------------------------------------------------------
+
+    def _predict_interval(
+        self,
+        vm_ids: Sequence[str],
+        cpu_full: np.ndarray,
+        memory_full: np.ndarray,
+        now: int,
+        points: int,
+        estimator: SizeEstimator,
+        class_of: Mapping[str, str],
+    ) -> List[VMDemand]:
+        """Size every VM at its predicted peak for the next interval."""
+        matrix_path = getattr(self.predictor, "predict_peak_matrix", None)
+        if matrix_path is not None:
+            cpu_peaks = self.cpu_burst_factor * matrix_path(
+                cpu_full[:, :now], points, cpu_full[:, now:now + points]
+            )
+            memory_peaks = matrix_path(
+                memory_full[:, :now], points, memory_full[:, now:now + points]
+            )
+            return [
+                estimator.estimate_from_values(
+                    vm_id,
+                    float(cpu_peaks[row]),
+                    float(memory_peaks[row]),
+                    class_of.get(vm_id),
+                )
+                for row, vm_id in enumerate(vm_ids)
+            ]
+        demands = []
+        for row, vm_id in enumerate(vm_ids):
+            cpu_peak = self.cpu_burst_factor * self.predictor.predict_peak(
+                cpu_full[row, :now], points, cpu_full[row, now:now + points]
+            )
+            memory_peak = self.predictor.predict_peak(
+                memory_full[row, :now],
+                points,
+                memory_full[row, now:now + points],
+            )
+            demands.append(
+                estimator.estimate_from_values(
+                    vm_id, cpu_peak, memory_peak, class_of.get(vm_id)
+                )
+            )
+        return demands
+
+    def _place_interval(
+        self,
+        demands: List[VMDemand],
+        context: PlanningContext,
+        previous: Optional[Placement],
+    ) -> Placement:
+        """One interval's placement: sticky pack, then cost-aware vacate."""
+        datacenter = context.datacenter
+        bound = context.config.utilization_bound
+        hosts = self._host_order(datacenter, previous)
+        placement = pack(
+            demands,
+            hosts,
+            utilization_bound=bound,
+            strategy="ffd",
+            constraints=context.constraints or None,
+            datacenter=datacenter,
+            preferred=previous.assignment if previous is not None else None,
+        )
+        return self._vacate_hosts(placement, demands, context)
+
+    @staticmethod
+    def _host_order(
+        datacenter: Datacenter, previous: Optional[Placement]
+    ) -> List[PhysicalServer]:
+        """Previously-active hosts first so new load lands on warm iron."""
+        if previous is None:
+            return list(datacenter.hosts)
+        active = previous.hosts_used
+        warm = [h for h in datacenter if h.host_id in active]
+        cold = [h for h in datacenter if h.host_id not in active]
+        return warm + cold
+
+    # ------------------------------------------------------------------
+
+    def _vacate_hosts(
+        self,
+        placement: Placement,
+        demands: List[VMDemand],
+        context: PlanningContext,
+    ) -> Placement:
+        """Empty lightly-loaded hosts into loaded ones when it pays off."""
+        datacenter = context.datacenter
+        bound = context.config.utilization_bound
+        demand_of = {d.vm_id: d for d in demands}
+        bins: Dict[str, Bin] = {}
+        assignment = dict(placement.assignment)
+        for vm_id, host_id in assignment.items():
+            target = bins.get(host_id)
+            if target is None:
+                target = Bin.for_host(datacenter.host(host_id), bound)
+                bins[host_id] = target
+            target.add(demand_of[vm_id])
+
+        for _ in range(self.max_vacate_sweeps):
+            changed = False
+            # Visit candidates emptiest-first; the cheapest hosts to
+            # vacate free a whole idle-power quantum each.
+            for source in sorted(
+                bins.values(), key=lambda b: (len(b.vm_ids), b.used_cpu)
+            ):
+                if source.is_empty or len(bins) <= 1:
+                    continue
+                if self._try_vacate(
+                    source, bins, assignment, demand_of, context
+                ):
+                    changed = True
+            empty = [host_id for host_id, b in bins.items() if b.is_empty]
+            for host_id in empty:
+                del bins[host_id]
+            if not changed:
+                break
+        return Placement(assignment=assignment)
+
+    def _try_vacate(
+        self,
+        source: Bin,
+        bins: Dict[str, Bin],
+        assignment: Dict[str, str],
+        demand_of: Mapping[str, VMDemand],
+        context: PlanningContext,
+    ) -> bool:
+        """Move all of ``source``'s VMs elsewhere if benefit > cost."""
+        constraints = context.constraints
+        datacenter = context.datacenter
+        moves: List[tuple] = []
+        # Candidate order computed once per vacate attempt: residuals
+        # only drift via this attempt's own pending moves, which the fit
+        # check accounts for exactly.
+        candidates = sorted(
+            (b for b in bins.values() if b is not source and not b.is_empty),
+            key=lambda b: b.residual(),
+        )
+        for vm_id in sorted(
+            source.vm_ids,
+            key=lambda v: demand_of[v].cpu_rpe2,
+            reverse=True,
+        ):
+            demand = demand_of[vm_id]
+            target = self._find_target(
+                vm_id,
+                demand,
+                candidates,
+                assignment,
+                moves,
+                context,
+                demand_of,
+            )
+            if target is None:
+                return False
+            moves.append((vm_id, target))
+
+        if self.consider_migration_cost:
+            cost_wh = sum(
+                self._cached_cost(demand_of[vm_id].memory_gb)
+                for vm_id, _ in moves
+            )
+            benefit_wh = (
+                self._idle_watts(source.host) * context.config.interval_hours
+            )
+            if benefit_wh <= cost_wh:
+                return False
+
+        for vm_id, target in moves:
+            target.add(demand_of[vm_id])
+            assignment[vm_id] = target.host.host_id
+        source.body_cpu = 0.0
+        source.body_memory = 0.0
+        source.body_network = 0.0
+        source.body_disk = 0.0
+        source.max_tail_cpu = 0.0
+        source.max_tail_memory = 0.0
+        source.vm_ids.clear()
+        return True
+
+    def _find_target(
+        self,
+        vm_id: str,
+        demand: VMDemand,
+        candidates: List[Bin],
+        assignment: Mapping[str, str],
+        pending_moves: List[tuple],
+        context: PlanningContext,
+        demand_of: Mapping[str, VMDemand],
+    ) -> Optional[Bin]:
+        """Fullest other host that admits the VM (constraints included)."""
+        shadow: Optional[Dict[str, str]] = None
+        if context.constraints:
+            shadow = dict(assignment)
+            for moved_vm, target in pending_moves:
+                shadow[moved_vm] = target.host.host_id
+        for candidate in candidates:
+            if not self._fits_with_pending(
+                candidate, demand, pending_moves, demand_of
+            ):
+                continue
+            if context.constraints and not context.constraints.feasible(
+                vm_id, candidate.host, shadow, context.datacenter
+            ):
+                continue
+            return candidate
+        return None
+
+    @staticmethod
+    def _fits_with_pending(
+        candidate: Bin,
+        demand: VMDemand,
+        pending_moves: List[tuple],
+        demand_of: Mapping[str, VMDemand],
+    ) -> bool:
+        """Fit check that also counts not-yet-committed moves.
+
+        While a vacate attempt is being evaluated, earlier VMs of the
+        same source may already be aimed at ``candidate``; their demand
+        must count or the vacate could overcommit the target.
+        """
+        pending_cpu = 0.0
+        pending_memory = 0.0
+        pending_network = 0.0
+        pending_disk = 0.0
+        for moved_vm, target in pending_moves:
+            if target is candidate:
+                moved = demand_of[moved_vm]
+                pending_cpu += moved.cpu_rpe2
+                pending_memory += moved.memory_gb
+                pending_network += moved.network_mbps
+                pending_disk += moved.disk_mbps
+        cpu_after = (
+            candidate.body_cpu
+            + pending_cpu
+            + demand.cpu_rpe2
+            + max(candidate.max_tail_cpu, demand.tail_cpu_rpe2)
+        )
+        memory_after = (
+            candidate.body_memory
+            + pending_memory
+            + demand.memory_gb
+            + max(candidate.max_tail_memory, demand.tail_memory_gb)
+        )
+        network_after = (
+            candidate.body_network + pending_network + demand.network_mbps
+        )
+        disk_after = candidate.body_disk + pending_disk + demand.disk_mbps
+        return (
+            cpu_after <= candidate.cpu_capacity + 1e-9
+            and memory_after <= candidate.memory_capacity + 1e-9
+            and network_after <= candidate.network_capacity + 1e-9
+            and disk_after <= candidate.disk_capacity + 1e-9
+        )
+
+    def _cached_cost(self, memory_gb: float) -> float:
+        key = round(memory_gb, 1)
+        cost = self._cost_cache.get(key)
+        if cost is None:
+            cost = self.migration_cost.cost_wh(max(key, 0.1))
+            self._cost_cache[key] = cost
+        return cost
+
+    @staticmethod
+    def _idle_watts(host: PhysicalServer) -> float:
+        if host.model is not None:
+            return host.model.idle_watts
+        return _DEFAULT_IDLE_WATTS

@@ -1,0 +1,118 @@
+"""High-level consolidation planning facade.
+
+:class:`ConsolidationPlanner` wires the paper's five-step flow
+(Monitoring → Prediction → Size Estimation → Placement → Execution,
+§2.1) into one call: give it monitored traces and a target pool, pick an
+algorithm, and get back the emulated consolidation statistics.
+
+This is the entry point a downstream user starts from; the experiment
+harness in :mod:`repro.experiments` builds on the same pieces directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence
+
+from repro.constraints.manager import ConstraintSet
+from repro.core.base import (
+    ConsolidationAlgorithm,
+    PlanningConfig,
+    PlanningContext,
+)
+from repro.emulator.emulator import ConsolidationEmulator
+from repro.emulator.results import EmulationResult
+from repro.emulator.schedule import PlacementSchedule
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.datacenter import Datacenter
+from repro.workloads.trace import TraceSet
+
+__all__ = ["ConsolidationPlanner", "split_window"]
+
+#: Default split: plan on the first 16 days, evaluate on the last 14
+#: (the paper's 14-day experiment window, Table 3).
+DEFAULT_EVALUATION_DAYS = 14
+
+
+def split_window(
+    traces: TraceSet, evaluation_days: int = DEFAULT_EVALUATION_DAYS
+) -> "tuple[TraceSet, TraceSet]":
+    """Split monitored traces into (history, evaluation) windows.
+
+    The last ``evaluation_days`` become the evaluation window; everything
+    before is planning history.
+    """
+    evaluation_hours = evaluation_days * 24
+    total_hours = traces.duration_hours
+    if evaluation_hours >= total_hours:
+        raise ConfigurationError(
+            f"need history before the {evaluation_days}-day evaluation "
+            f"window, but traces cover only {total_hours / 24:.1f} days"
+        )
+    history = traces.window(0, total_hours - evaluation_hours)
+    evaluation = traces.window(total_hours - evaluation_hours, total_hours)
+    return history, evaluation
+
+
+@dataclass
+class ConsolidationPlanner:
+    """Plans and emulates consolidation for one datacenter.
+
+    Parameters
+    ----------
+    traces:
+        Full monitoring window (e.g. 30 days of hourly data).
+    datacenter:
+        Target host pool.
+    config:
+        Shared planning knobs (utilization bound, interval, overhead).
+    constraints:
+        Deployment constraints applied by every algorithm.
+    evaluation_days:
+        Length of the evaluation window carved off the end of ``traces``.
+    """
+
+    traces: TraceSet
+    datacenter: Datacenter
+    config: PlanningConfig = field(default_factory=PlanningConfig)
+    constraints: ConstraintSet = field(default_factory=ConstraintSet)
+    evaluation_days: int = DEFAULT_EVALUATION_DAYS
+
+    def __post_init__(self) -> None:
+        history, evaluation = split_window(self.traces, self.evaluation_days)
+        self._context = PlanningContext(
+            history=history,
+            evaluation=evaluation,
+            datacenter=self.datacenter,
+            constraints=self.constraints,
+            config=self.config,
+        )
+        self._emulator = ConsolidationEmulator(
+            trace_set=evaluation,
+            datacenter=self.datacenter,
+            overhead=self.config.overhead,
+        )
+
+    @property
+    def context(self) -> PlanningContext:
+        return self._context
+
+    def plan(self, algorithm: ConsolidationAlgorithm) -> PlacementSchedule:
+        """Run one algorithm's Placement step only."""
+        return algorithm.plan(self._context)
+
+    def run(self, algorithm: ConsolidationAlgorithm) -> EmulationResult:
+        """Plan with one algorithm and emulate the result."""
+        schedule = self.plan(algorithm)
+        return self._emulator.evaluate(schedule, scheme=algorithm.name)
+
+    def compare(
+        self, algorithms: Sequence[ConsolidationAlgorithm]
+    ) -> Dict[str, EmulationResult]:
+        """Run several algorithms over identical inputs (paper §5)."""
+        names = [a.name for a in algorithms]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"algorithm names must be unique, got {names}"
+            )
+        return {a.name: self.run(a) for a in algorithms}

@@ -1,0 +1,221 @@
+"""Emulation results: the consolidation statistics behind Figs. 7-12.
+
+:class:`EmulationResult` holds the per-host, per-hour demand and activity
+matrices produced by replaying traces against a placement schedule, plus
+derived metrics:
+
+* provisioned server count and space cost (Fig. 7 left),
+* energy and power cost (Fig. 7 right),
+* contention time fraction and magnitude distribution (Figs. 8, 9),
+* per-server average / peak utilization CDFs (Figs. 10, 11),
+* active-server fraction distribution (Fig. 12).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.emulator.schedule import PlacementSchedule
+from repro.exceptions import EmulationError
+from repro.infrastructure.costs import PowerCostModel, SpaceCostModel
+
+__all__ = ["EmulationResult"]
+
+
+@dataclass(frozen=True)
+class EmulationResult:
+    """Replay output for one (workload, consolidation scheme) pair.
+
+    All matrices are shaped ``(n_hosts, n_hours)`` and cover only hosts
+    the schedule ever used (the provisioned pool).
+
+    Attributes
+    ----------
+    cpu_demand / memory_demand:
+        Actual aggregate demand landed on each host per hour, with
+        virtualization overhead applied.  Demand is *not* capped at
+        capacity — the excess is the contention signal.
+    active:
+        Whether the host had at least one VM that hour (powered on).
+    power_watts:
+        Power draw per host-hour (0 when inactive).
+    """
+
+    scheme: str
+    workload: str
+    host_ids: Tuple[str, ...]
+    cpu_capacity: np.ndarray
+    memory_capacity: np.ndarray
+    cpu_demand: np.ndarray
+    memory_demand: np.ndarray
+    active: np.ndarray
+    power_watts: np.ndarray
+    schedule: PlacementSchedule
+
+    def __post_init__(self) -> None:
+        n_hosts = len(self.host_ids)
+        for name in ("cpu_demand", "memory_demand", "active", "power_watts"):
+            matrix = getattr(self, name)
+            if matrix.shape[0] != n_hosts:
+                raise EmulationError(
+                    f"{name} has {matrix.shape[0]} rows for {n_hosts} hosts"
+                )
+            if matrix.shape != self.cpu_demand.shape:
+                raise EmulationError(f"{name} shape mismatch")
+        for name in ("cpu_capacity", "memory_capacity"):
+            vector = getattr(self, name)
+            if vector.shape != (n_hosts,):
+                raise EmulationError(f"{name} must be ({n_hosts},)")
+
+    # ------------------------------------------------------------------
+    # Space / hardware (Fig. 7 left)
+
+    @property
+    def n_hours(self) -> int:
+        return int(self.cpu_demand.shape[1])
+
+    @property
+    def provisioned_servers(self) -> int:
+        """Hosts that must physically exist: every host the plan touches."""
+        return len(self.host_ids)
+
+    def space_cost(self, model: SpaceCostModel = SpaceCostModel()) -> float:
+        return model.cost(self.provisioned_servers)
+
+    # ------------------------------------------------------------------
+    # Power (Fig. 7 right)
+
+    @property
+    def energy_kwh(self) -> float:
+        """IT energy over the window (hourly samples → watt-hours)."""
+        return float(self.power_watts.sum()) / 1000.0
+
+    @property
+    def mean_power_watts(self) -> float:
+        return float(self.power_watts.sum(axis=0).mean())
+
+    def power_cost(self, model: PowerCostModel = PowerCostModel()) -> float:
+        return model.cost(self.energy_kwh)
+
+    # ------------------------------------------------------------------
+    # Utilization (Figs. 10, 11)
+
+    def _cpu_utilization(self) -> np.ndarray:
+        return self.cpu_demand / self.cpu_capacity[:, None]
+
+    def average_utilization_cdf(self) -> EmpiricalCDF:
+        """Per-host mean CPU utilization over *active* hours (Fig. 10).
+
+        Hosts that are never active (possible only in a degenerate
+        schedule) are reported at zero.
+        """
+        utilization = self._cpu_utilization()
+        active_hours = self.active.sum(axis=1)
+        sums = np.where(self.active, utilization, 0.0).sum(axis=1)
+        means = np.divide(
+            sums,
+            active_hours,
+            out=np.zeros(len(self.host_ids)),
+            where=active_hours > 0,
+        )
+        return EmpiricalCDF(means)
+
+    def peak_utilization_cdf(self) -> EmpiricalCDF:
+        """Per-host peak CPU utilization (Fig. 11); >1 means contention."""
+        utilization = np.where(self.active, self._cpu_utilization(), 0.0)
+        return EmpiricalCDF(utilization.max(axis=1))
+
+    # ------------------------------------------------------------------
+    # Contention (Figs. 8, 9)
+
+    def _contention(self, demand: np.ndarray, capacity: np.ndarray) -> np.ndarray:
+        return np.maximum(0.0, demand - capacity[:, None]) / capacity[:, None]
+
+    def cpu_contention_matrix(self) -> np.ndarray:
+        """Unmet CPU demand as a fraction of host capacity, per host-hour."""
+        return self._contention(self.cpu_demand, self.cpu_capacity)
+
+    def memory_contention_matrix(self) -> np.ndarray:
+        return self._contention(self.memory_demand, self.memory_capacity)
+
+    def contention_time_fraction(self) -> float:
+        """Fraction of provisioned server-hours with any contention (Fig. 8)."""
+        contended = (self.cpu_contention_matrix() > 0) | (
+            self.memory_contention_matrix() > 0
+        )
+        total = contended.size
+        return float(contended.sum() / total) if total else 0.0
+
+    def cpu_contention_cdf(self) -> "EmpiricalCDF | None":
+        """CDF of CPU contention magnitude over contended host-hours (Fig. 9).
+
+        Returns None when there was no contention at all — the paper
+        renders that as an absent line.
+        """
+        contention = self.cpu_contention_matrix()
+        samples = contention[contention > 0]
+        if samples.size == 0:
+            return None
+        return EmpiricalCDF(samples)
+
+    # ------------------------------------------------------------------
+    # Dynamism (Fig. 12)
+
+    def active_fraction_series(self) -> np.ndarray:
+        """Fraction of provisioned servers active, per hour (Fig. 12)."""
+        return self.active.sum(axis=0) / self.provisioned_servers
+
+    def active_fraction_cdf(self) -> EmpiricalCDF:
+        return EmpiricalCDF(self.active_fraction_series())
+
+    # ------------------------------------------------------------------
+
+    def total_migrations(self) -> int:
+        return self.schedule.total_migrations()
+
+    def migrations_per_interval(self) -> "np.ndarray":
+        """Live migrations at each consolidation-interval boundary.
+
+        The paper's related-work note (§6.3, citing Verma et al.):
+        "more than 25% of all VMs may need to be live migrated in each
+        consolidation interval" — divide by the VM count to compare.
+        """
+        segments = self.schedule.segments
+        return np.array(
+            [
+                len(
+                    current.placement.migrations_from(previous.placement)
+                )
+                for previous, current in zip(segments, segments[1:])
+            ]
+        )
+
+    def mean_migration_fraction(self) -> float:
+        """Mean fraction of VMs migrated per interval transition."""
+        per_interval = self.migrations_per_interval()
+        if per_interval.size == 0:
+            return 0.0
+        n_vms = len(self.schedule.segments[0].placement)
+        if n_vms == 0:
+            return 0.0
+        return float(per_interval.mean() / n_vms)
+
+    def summary(self) -> dict:
+        """Flat metric dict used by reports and regression tests."""
+        return {
+            "scheme": self.scheme,
+            "workload": self.workload,
+            "provisioned_servers": self.provisioned_servers,
+            "energy_kwh": self.energy_kwh,
+            "mean_power_watts": self.mean_power_watts,
+            "contention_time_fraction": self.contention_time_fraction(),
+            "total_migrations": self.total_migrations(),
+            "mean_migration_fraction": self.mean_migration_fraction(),
+            "mean_active_fraction": float(
+                self.active_fraction_series().mean()
+            ),
+        }

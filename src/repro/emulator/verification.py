@@ -1,0 +1,193 @@
+"""Emulator accuracy verification (paper §5.2).
+
+"We have verified the accuracy of the emulator using two synthetic
+workloads RuBIS and daxpy.  For verification, we created a resource
+model for the workload ... We also implemented a micro-benchmark that
+can use either a specified amount of memory or consume a specific
+number of cores.  Given the resource consumption in a trace, we run the
+workload at the appropriate intensity ... We observed that the 99
+percentile error bound of our emulator is 5% for RuBIS and 2% for
+daxpy."
+
+The harness rebuilds that methodology against a testbed *simulator*:
+
+1. a :class:`WorkloadResourceModel` maps workload intensity (RuBiS
+   clients, daxpy vector length) to CPU/memory consumption,
+2. the driver inverts the model to pick the intensity whose consumption
+   best meets each trace point (integer intensities quantize — a real
+   error source), tops up the remainder with the micro-benchmark, and
+   adds the testbed's control/measurement noise,
+3. the *emulator's prediction* for the same point is the trace value
+   itself (the emulator assumes demand lands as specified),
+4. the per-point relative error distribution's 99th percentile is the
+   paper's accuracy metric.
+
+Interactive workloads (RuBiS) control resources loosely — client count
+is integral and response is noisy — so their error bound is wider than
+the numeric kernel's (daxpy), reproducing the paper's 5% vs 2% split.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "WorkloadResourceModel",
+    "RUBIS_MODEL",
+    "DAXPY_MODEL",
+    "VerificationReport",
+    "verify_emulator_accuracy",
+]
+
+
+@dataclass(frozen=True)
+class WorkloadResourceModel:
+    """Intensity → resource consumption model for one benchmark.
+
+    ``cpu = cpu_per_unit * intensity ** cpu_exponent`` (fraction of the
+    testbed host), memory analogous.  ``integral_intensity`` marks
+    workloads whose intensity knob is discrete (client counts);
+    ``control_noise_sigma`` is the run-to-run variation of achieved
+    consumption at a fixed intensity.
+    """
+
+    name: str
+    cpu_per_unit: float
+    cpu_exponent: float
+    memory_per_unit: float
+    memory_exponent: float
+    integral_intensity: bool
+    control_noise_sigma: float
+    max_intensity: float
+
+    def __post_init__(self) -> None:
+        if self.cpu_per_unit <= 0 or self.memory_per_unit <= 0:
+            raise ConfigurationError("per-unit consumptions must be > 0")
+        if self.cpu_exponent <= 0 or self.memory_exponent <= 0:
+            raise ConfigurationError("exponents must be > 0")
+        if self.control_noise_sigma < 0:
+            raise ConfigurationError("control_noise_sigma must be >= 0")
+        if self.max_intensity <= 0:
+            raise ConfigurationError("max_intensity must be > 0")
+
+    def cpu_at(self, intensity: float) -> float:
+        return self.cpu_per_unit * intensity**self.cpu_exponent
+
+    def memory_at(self, intensity: float) -> float:
+        return self.memory_per_unit * intensity**self.memory_exponent
+
+    def intensity_for_cpu(self, cpu_fraction: float) -> float:
+        """Invert the CPU curve; quantizes for integral workloads."""
+        if cpu_fraction < 0:
+            raise ConfigurationError("cpu_fraction must be >= 0")
+        raw = (cpu_fraction / self.cpu_per_unit) ** (1.0 / self.cpu_exponent)
+        raw = min(raw, self.max_intensity)
+        if self.integral_intensity:
+            return float(round(raw))
+        return float(raw)
+
+
+#: RuBiS auction site: integral client counts, noisy interactive load.
+RUBIS_MODEL = WorkloadResourceModel(
+    name="rubis",
+    cpu_per_unit=0.012,
+    cpu_exponent=1.05,
+    memory_per_unit=0.02,
+    memory_exponent=0.6,
+    integral_intensity=True,
+    control_noise_sigma=0.013,
+    max_intensity=120.0,
+)
+
+#: daxpy numeric kernel: continuously tunable, very repeatable.
+DAXPY_MODEL = WorkloadResourceModel(
+    name="daxpy",
+    cpu_per_unit=0.01,
+    cpu_exponent=1.0,
+    memory_per_unit=0.008,
+    memory_exponent=1.0,
+    integral_intensity=False,
+    control_noise_sigma=0.005,
+    max_intensity=150.0,
+)
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Error distribution between emulator prediction and testbed run."""
+
+    workload: str
+    n_points: int
+    mean_error: float
+    p95_error: float
+    p99_error: float
+    max_error: float
+
+    def within(self, bound: float) -> bool:
+        """The paper's criterion: p99 relative error within ``bound``."""
+        return self.p99_error <= bound
+
+
+def _run_testbed_point(
+    model: WorkloadResourceModel,
+    requested_cpu: float,
+    rng: np.random.Generator,
+) -> float:
+    """Achieved CPU for one trace point on the simulated testbed.
+
+    The workload runs at the inverted intensity; the micro-benchmark
+    tops up (or the driver throttles) the remainder with its own, finer
+    control error; measurement noise rides on top.
+    """
+    intensity = model.intensity_for_cpu(requested_cpu)
+    workload_cpu = model.cpu_at(intensity)
+    # The micro-benchmark fills the quantization gap; as a closed-loop
+    # throttling driver its control error scales with the target.
+    gap = requested_cpu - workload_cpu
+    micro_cpu = 0.0
+    if abs(gap) > 1e-9:
+        micro_cpu = gap + rng.normal(0.0, 0.004) * requested_cpu
+    achieved = workload_cpu * (
+        1.0 + rng.normal(0.0, model.control_noise_sigma)
+    ) + micro_cpu
+    return float(np.clip(achieved, 0.0, 1.0))
+
+
+def verify_emulator_accuracy(
+    model: WorkloadResourceModel,
+    *,
+    n_points: int = 2000,
+    seed: int = 11,
+    cpu_range: Tuple[float, float] = (0.05, 0.9),
+) -> VerificationReport:
+    """Replay a random trace through the testbed and measure error.
+
+    Mirrors the paper's verification: the emulator's prediction for a
+    point is the trace value; the testbed's achieved value differs by
+    quantization + control + measurement noise.  Errors are relative to
+    the requested value.
+    """
+    if n_points <= 0:
+        raise ConfigurationError(f"n_points must be > 0, got {n_points}")
+    low, high = cpu_range
+    if not 0 <= low < high <= 1:
+        raise ConfigurationError(f"invalid cpu_range {cpu_range}")
+    rng = np.random.default_rng(seed)
+    requested = rng.uniform(low, high, size=n_points)
+    achieved = np.array(
+        [_run_testbed_point(model, value, rng) for value in requested]
+    )
+    errors = np.abs(achieved - requested) / requested
+    return VerificationReport(
+        workload=model.name,
+        n_points=n_points,
+        mean_error=float(errors.mean()),
+        p95_error=float(np.percentile(errors, 95)),
+        p99_error=float(np.percentile(errors, 99)),
+        max_error=float(errors.max()),
+    )

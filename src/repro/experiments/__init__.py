@@ -1,0 +1,72 @@
+"""Experiment harness: settings, trace analysis, comparisons, figures."""
+
+from repro.experiments.ablations import (
+    PREDICTOR_LADDER,
+    generate_uncorrelated_datacenter,
+    run_correlation_ablation,
+    run_predictor_ablation,
+    run_tail_overlap_ablation,
+)
+from repro.experiments.comparison import (
+    ComparisonResult,
+    default_algorithms,
+    run_all,
+    run_comparison,
+)
+from repro.experiments.figures import FIGURES, list_figures, run_figure
+from repro.experiments.intervals import (
+    DEFAULT_INTERVAL_SWEEP,
+    IntervalPoint,
+    run_interval_study,
+)
+from repro.experiments.multiperiod import (
+    MultiPeriodResult,
+    apply_seasonal_drift,
+    run_multiperiod,
+)
+from repro.experiments.potential import PotentialGain, potential_gain
+from repro.experiments.report import DEFAULT_REPORT_ORDER, generate_report
+from repro.experiments.sensitivity import SensitivityResult, run_sensitivity
+from repro.experiments.validate import (
+    ValidationCheck,
+    ValidationReport,
+    validate_reproduction,
+)
+from repro.experiments.settings import (
+    UTILIZATION_BOUND_SWEEP,
+    ExperimentSettings,
+    default_scale,
+)
+
+__all__ = [
+    "ComparisonResult",
+    "DEFAULT_INTERVAL_SWEEP",
+    "DEFAULT_REPORT_ORDER",
+    "generate_report",
+    "ExperimentSettings",
+    "IntervalPoint",
+    "MultiPeriodResult",
+    "apply_seasonal_drift",
+    "run_multiperiod",
+    "FIGURES",
+    "PREDICTOR_LADDER",
+    "PotentialGain",
+    "potential_gain",
+    "generate_uncorrelated_datacenter",
+    "run_correlation_ablation",
+    "run_predictor_ablation",
+    "run_tail_overlap_ablation",
+    "SensitivityResult",
+    "UTILIZATION_BOUND_SWEEP",
+    "ValidationCheck",
+    "ValidationReport",
+    "validate_reproduction",
+    "default_algorithms",
+    "default_scale",
+    "list_figures",
+    "run_all",
+    "run_comparison",
+    "run_figure",
+    "run_interval_study",
+    "run_sensitivity",
+]

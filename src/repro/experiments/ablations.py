@@ -1,0 +1,149 @@
+"""Ablation studies over the reproduction's own design choices.
+
+DESIGN.md §4.0 documents three calibration-era levers (cross-server
+correlation, the PCP tail-overlap factor, the dynamic burst premium) and
+the predictor choice; each function here isolates one of them so its
+effect on the Section-5 results is measurable.  The corresponding
+benches (``benchmarks/bench_ablation_*.py``) print these results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.dynamic import DynamicConsolidation
+from repro.core.planner import ConsolidationPlanner
+from repro.core.semistatic import SemiStaticConsolidation
+from repro.core.stochastic import StochasticConsolidation
+from repro.emulator.results import EmulationResult
+from repro.experiments.comparison import ComparisonResult, run_comparison
+from repro.experiments.settings import ExperimentSettings
+from repro.metrics.catalog import get_model
+from repro.sizing.prediction import (
+    EwmaPredictor,
+    LastIntervalPredictor,
+    OraclePredictor,
+    PeriodicPeakPredictor,
+    Predictor,
+)
+from repro.workloads.datacenters import (
+    _group_counts,
+    generate_datacenter,
+    get_datacenter_config,
+)
+from repro.workloads.generator import generate_trace_set
+from repro.workloads.trace import HOURS_PER_DAY, TraceSet
+
+__all__ = [
+    "generate_uncorrelated_datacenter",
+    "run_correlation_ablation",
+    "PREDICTOR_LADDER",
+    "run_predictor_ablation",
+    "run_tail_overlap_ablation",
+]
+
+
+def generate_uncorrelated_datacenter(
+    key: str, *, scale: float, days: int = 30
+) -> TraceSet:
+    """A datacenter preset with the correlation model stripped.
+
+    Same class mixes, hardware and seeds as the preset — only the shared
+    business factor and flash-event calendar are removed, isolating the
+    effect of cross-server correlation on consolidation results.
+    """
+    config = get_datacenter_config(key)
+    total = max(len(config.groups), int(round(config.server_count * scale)))
+    counts = _group_counts(config, total)
+    specs = [
+        (group.profile, get_model(group.hardware), count)
+        for group, count in zip(config.groups, counts)
+    ]
+    return generate_trace_set(
+        name=config.key,
+        specs=specs,
+        n_hours=days * HOURS_PER_DAY,
+        seed=config.seed,
+        correlation=None,
+    )
+
+
+def run_correlation_ablation(
+    key: str, settings: Optional[ExperimentSettings] = None
+) -> Tuple[ComparisonResult, ComparisonResult]:
+    """(correlated, independent) Section-5 comparisons for one DC."""
+    settings = settings or ExperimentSettings()
+    correlated = run_comparison(
+        key, settings, trace_set=generate_datacenter(key, scale=settings.scale)
+    )
+    independent = run_comparison(
+        key,
+        settings,
+        trace_set=generate_uncorrelated_datacenter(key, scale=settings.scale),
+    )
+    return correlated, independent
+
+
+#: The predictor ladder the predictor ablation sweeps, least to most
+#: informed.  The oracle bound isolates packing from prediction error.
+PREDICTOR_LADDER: Tuple[Tuple[str, Predictor], ...] = (
+    ("last-interval", LastIntervalPredictor()),
+    ("ewma", EwmaPredictor(alpha=0.3)),
+    ("periodic-2d (default)", PeriodicPeakPredictor(lookback_days=2)),
+    ("periodic-7d", PeriodicPeakPredictor(lookback_days=7)),
+    ("oracle", OraclePredictor()),
+)
+
+
+def run_predictor_ablation(
+    key: str,
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    ladder: Sequence[Tuple[str, Predictor]] = PREDICTOR_LADDER,
+) -> Dict[str, EmulationResult]:
+    """Dynamic consolidation under each predictor, same traces/pool."""
+    settings = settings or ExperimentSettings()
+    traces = generate_datacenter(key, scale=settings.scale)
+    pool = settings.build_pool(traces)
+    planner = ConsolidationPlanner(
+        traces=traces,
+        datacenter=pool,
+        config=settings.planning_config(),
+        evaluation_days=settings.evaluation_days,
+    )
+    return {
+        label: planner.run(
+            DynamicConsolidation(name=label, predictor=predictor)
+        )
+        for label, predictor in ladder
+    }
+
+
+def run_tail_overlap_ablation(
+    key: str,
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    overlaps: Sequence[float] = (0.0, 0.25, 0.55, 0.75, 1.0),
+) -> Dict[str, EmulationResult]:
+    """Stochastic consolidation across tail-overlap factors.
+
+    Includes the vanilla (max-sizing) reference under key ``vanilla``.
+    """
+    settings = settings or ExperimentSettings()
+    traces = generate_datacenter(key, scale=settings.scale)
+    pool = settings.build_pool(traces)
+    planner = ConsolidationPlanner(
+        traces=traces,
+        datacenter=pool,
+        config=settings.planning_config(),
+        evaluation_days=settings.evaluation_days,
+    )
+    results: Dict[str, EmulationResult] = {
+        "vanilla": planner.run(SemiStaticConsolidation(name="vanilla"))
+    }
+    for overlap in overlaps:
+        label = f"overlap={overlap:.2f}"
+        results[label] = planner.run(
+            StochasticConsolidation(name=label, tail_overlap_factor=overlap)
+        )
+    return results

@@ -1,0 +1,138 @@
+"""Section-5 baseline comparison (Figs. 7-12).
+
+:func:`run_comparison` executes the paper's experiment for one
+datacenter: generate traces, build an HS23 target pool, run the three
+consolidation variants over the same planning/evaluation split, emulate,
+and package the figure data.  :func:`run_all` covers all four
+datacenters (the full Fig. 7 grid).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.core.base import ConsolidationAlgorithm
+from repro.core.dynamic import DynamicConsolidation
+from repro.core.planner import ConsolidationPlanner
+from repro.core.semistatic import SemiStaticConsolidation
+from repro.core.stochastic import StochasticConsolidation
+from repro.emulator.results import EmulationResult
+from repro.experiments.settings import ExperimentSettings
+from repro.infrastructure.costs import normalize
+from repro.workloads.datacenters import ALL_DATACENTERS, generate_datacenter
+from repro.workloads.trace import TraceSet
+
+__all__ = [
+    "SCHEME_VANILLA",
+    "SCHEME_STOCHASTIC",
+    "SCHEME_DYNAMIC",
+    "default_algorithms",
+    "ComparisonResult",
+    "run_comparison",
+    "run_all",
+]
+
+SCHEME_VANILLA = "semi-static"
+SCHEME_STOCHASTIC = "stochastic"
+SCHEME_DYNAMIC = "dynamic"
+
+
+def default_algorithms() -> Tuple[ConsolidationAlgorithm, ...]:
+    """The paper's three compared algorithms (§5.1)."""
+    return (
+        SemiStaticConsolidation(),
+        StochasticConsolidation(),
+        DynamicConsolidation(),
+    )
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """All Section-5 outputs for one datacenter."""
+
+    workload: str
+    settings: ExperimentSettings
+    results: Mapping[str, EmulationResult]
+
+    def normalized_space_cost(self) -> Dict[str, float]:
+        """Fig. 7 left: space cost normalized to vanilla semi-static."""
+        costs = {
+            name: self.settings.space_cost.cost(result.provisioned_servers)
+            for name, result in self.results.items()
+        }
+        return normalize(costs, SCHEME_VANILLA)
+
+    def normalized_power_cost(self) -> Dict[str, float]:
+        """Fig. 7 right: power cost normalized to vanilla semi-static."""
+        costs = {
+            name: self.settings.power_cost.cost(result.energy_kwh)
+            for name, result in self.results.items()
+        }
+        return normalize(costs, SCHEME_VANILLA)
+
+    def contention_fractions(self) -> Dict[str, float]:
+        """Fig. 8: fraction of server-hours with contention per scheme."""
+        return {
+            name: result.contention_time_fraction()
+            for name, result in self.results.items()
+        }
+
+    def dynamic(self) -> EmulationResult:
+        return self.results[SCHEME_DYNAMIC]
+
+    def summary_rows(self) -> Tuple[Dict[str, object], ...]:
+        space = self.normalized_space_cost()
+        power = self.normalized_power_cost()
+        rows = []
+        for name, result in self.results.items():
+            rows.append(
+                {
+                    "workload": self.workload,
+                    "scheme": name,
+                    "servers": result.provisioned_servers,
+                    "space_norm": space[name],
+                    "power_norm": power[name],
+                    "contention": result.contention_time_fraction(),
+                    "migrations": result.total_migrations(),
+                    "mean_active_fraction": float(
+                        result.active_fraction_series().mean()
+                    ),
+                }
+            )
+        return tuple(rows)
+
+
+def run_comparison(
+    datacenter_key: str,
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    algorithms: Optional[Sequence[ConsolidationAlgorithm]] = None,
+    trace_set: Optional[TraceSet] = None,
+) -> ComparisonResult:
+    """Run the three-scheme comparison for one datacenter."""
+    settings = settings or ExperimentSettings()
+    if trace_set is None:
+        trace_set = generate_datacenter(datacenter_key, scale=settings.scale)
+    pool = settings.build_pool(trace_set)
+    planner = ConsolidationPlanner(
+        traces=trace_set,
+        datacenter=pool,
+        config=settings.planning_config(),
+        evaluation_days=settings.evaluation_days,
+    )
+    results = planner.compare(list(algorithms or default_algorithms()))
+    return ComparisonResult(
+        workload=trace_set.name, settings=settings, results=results
+    )
+
+
+def run_all(
+    settings: Optional[ExperimentSettings] = None,
+) -> Dict[str, ComparisonResult]:
+    """Run the comparison for all four datacenters (the Fig. 7 grid)."""
+    settings = settings or ExperimentSettings()
+    return {
+        config.key: run_comparison(config.key, settings)
+        for config in ALL_DATACENTERS
+    }

@@ -1,0 +1,66 @@
+"""Plain-text report formatting for experiment outputs.
+
+Benches and the CLI print the same rows the paper's figures plot; these
+helpers render aligned ASCII tables and CDF tabulations so the output is
+directly comparable against the paper's descriptions.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.analysis.cdf import EmpiricalCDF
+
+__all__ = ["format_table", "format_cdf", "format_mapping"]
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)),
+        "  ".join("-" * w for w in widths),
+    ]
+    for row in rendered:
+        lines.append(
+            "  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(lines)
+
+
+def format_cdf(
+    label: str, cdf: EmpiricalCDF, grid: Sequence[float]
+) -> str:
+    """Tabulate a CDF on a grid: the text form of one figure line."""
+    points = "  ".join(
+        f"F({_render_cell(float(x))})={cdf.at(float(x)):.2f}" for x in grid
+    )
+    return f"{label}: {points}"
+
+
+def format_mapping(
+    title: str, mapping: Mapping[str, float], *, digits: int = 3
+) -> str:
+    """One-line rendering of a {label: value} result."""
+    body = "  ".join(
+        f"{key}={value:.{digits}f}" for key, value in mapping.items()
+    )
+    return f"{title}: {body}"

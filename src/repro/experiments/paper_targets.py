@@ -1,0 +1,125 @@
+"""What the paper reports, as machine-checkable bands.
+
+Each target captures a *shape* claim from the paper's text or figures —
+who wins, by roughly what factor, where crossovers fall — with a
+tolerance band wide enough to absorb synthetic-trace noise but tight
+enough that a broken reproduction fails.  The calibration tests in
+``tests/experiments/test_paper_targets.py`` assert the generated
+workloads and the consolidation comparison stay inside these bands.
+
+Bands are indexed by datacenter key where applicable.  ``(lo, hi)``
+bounds are inclusive.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Tuple
+
+__all__ = [
+    "Band",
+    "CPU_COV_HEAVY_TAILED_FRACTION",
+    "CPU_P2A_MEDIAN_1H",
+    "MEMORY_COV_HEAVY_TAILED_FRACTION",
+    "MEMORY_P2A_LE_1_5_FRACTION",
+    "MEMORY_CONSTRAINED_FRACTION",
+    "MEAN_CPU_UTILIZATION",
+    "MIGRATION_RESERVATION",
+    "SPACE_ORDERING",
+    "STOCHASTIC_SPACE_VS_VANILLA",
+    "DYNAMIC_POWER_VS_STOCHASTIC",
+    "OLIO_SCALING",
+]
+
+Band = Tuple[float, float]
+
+
+#: Table 2: mean CPU utilization per datacenter.
+MEAN_CPU_UTILIZATION: Mapping[str, Band] = {
+    "banking": (0.04, 0.07),
+    "airlines": (0.006, 0.02),
+    "natural-resources": (0.10, 0.14),
+    "beverage": (0.05, 0.08),
+}
+
+#: Fig. 2 + Obs. 1: median CPU peak-to-average ratio at 1 h intervals.
+#: Banking/Beverage are very bursty (median >= 5); Airlines/NatRes modest.
+CPU_P2A_MEDIAN_1H: Mapping[str, Band] = {
+    "banking": (5.0, 14.0),
+    "airlines": (2.0, 9.0),
+    "natural-resources": (2.0, 4.5),
+    "beverage": (4.0, 12.0),
+}
+
+#: Fig. 3: fraction of servers with CPU CoV >= 1 (heavy-tailed).
+#: Paper: Banking > 50%, Airlines ~30%, NatRes ~15%, Beverage ~Banking.
+CPU_COV_HEAVY_TAILED_FRACTION: Mapping[str, Band] = {
+    "banking": (0.50, 0.85),
+    "airlines": (0.12, 0.40),
+    "natural-resources": (0.05, 0.25),
+    "beverage": (0.35, 0.75),
+}
+
+#: Fig. 5 + Obs. 2: fraction of servers with memory CoV >= 1.
+#: Paper: Banking ~20%, Airlines/NatRes none, Beverage < 10%.
+MEMORY_COV_HEAVY_TAILED_FRACTION: Mapping[str, Band] = {
+    "banking": (0.10, 0.35),
+    "airlines": (0.0, 0.02),
+    "natural-resources": (0.0, 0.02),
+    "beverage": (0.02, 0.12),
+}
+
+#: Fig. 4: fraction of servers with memory P2A <= 1.5 at 1 h intervals.
+#: Paper: Banking > 50%, Airlines ~90%, NatRes ~60%, Beverage high.
+MEMORY_P2A_LE_1_5_FRACTION: Mapping[str, Band] = {
+    "banking": (0.55, 0.95),
+    "airlines": (0.80, 1.00),
+    "natural-resources": (0.50, 0.85),
+    "beverage": (0.75, 1.00),
+}
+
+#: Fig. 6 + Obs. 3: fraction of 2 h intervals that are memory-constrained
+#: (aggregate CPU:memory demand ratio below the HS23 ratio of 160).
+#: Paper: Banking ~30%, Airlines/NatRes ~always, Beverage > 90%.
+MEMORY_CONSTRAINED_FRACTION: Mapping[str, Band] = {
+    "banking": (0.15, 0.50),
+    "airlines": (0.98, 1.00),
+    "natural-resources": (0.90, 1.00),
+    "beverage": (0.88, 1.00),
+}
+
+#: Obs. 4: resources to reserve for reliable live migration.
+MIGRATION_RESERVATION: Band = (0.15, 0.30)
+
+#: Fig. 7 (space): the ordering claim.  For every datacenter,
+#: stochastic <= dynamic (stochastic outperforms dynamic in space cost),
+#: and dynamic < vanilla for all but Airlines.
+SPACE_ORDERING = {
+    "stochastic_not_worse_than_dynamic_slack": 0.02,
+    "dynamic_beats_vanilla_except": ("airlines",),
+}
+
+#: Fig. 7 (space): stochastic's normalized space cost vs vanilla.
+#: Paper: "recent stochastic techniques improve ... by more than 15%".
+STOCHASTIC_SPACE_VS_VANILLA: Mapping[str, Band] = {
+    "banking": (0.55, 0.90),
+    "airlines": (0.75, 1.00),
+    "natural-resources": (0.75, 0.95),
+    "beverage": (0.55, 0.90),
+}
+
+#: Fig. 7 (power): dynamic's power cost relative to stochastic.
+#: Paper: large savings for Banking (~50%) and Beverage; muted (possibly
+#: negative) for Airlines and Natural Resources.
+DYNAMIC_POWER_VS_STOCHASTIC: Mapping[str, Band] = {
+    "banking": (0.45, 0.85),
+    "airlines": (0.90, 1.55),
+    "natural-resources": (0.85, 1.20),
+    "beverage": (0.50, 0.90),
+}
+
+#: §4.1 Olio aside: 6x throughput -> ~7.9x CPU and ~3x memory.
+OLIO_SCALING = {
+    "throughput_factor": 6.0,
+    "cpu_factor": (7.5, 8.3),
+    "memory_factor": (2.7, 3.3),
+}

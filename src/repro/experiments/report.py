@@ -1,0 +1,85 @@
+"""Full-reproduction report generator.
+
+``repro-vmc report`` runs every registered figure/table experiment and
+assembles one markdown document — the machine-generated counterpart of
+``EXPERIMENTS.md``.  Useful for regenerating the measured numbers after
+a change, or for producing a full-scale (``REPRO_SCALE=1.0``) record.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional, Sequence
+
+from repro import __version__
+from repro.exceptions import ConfigurationError
+from repro.experiments.figures import FIGURES, run_figure
+from repro.experiments.settings import ExperimentSettings
+
+__all__ = ["generate_report", "DEFAULT_REPORT_ORDER"]
+
+#: Paper order: Table 2, the Section-4 figures, Obs 4, the Section-5
+#: figures, then the asides and extension studies.
+DEFAULT_REPORT_ORDER = (
+    "table2",
+    "fig1",
+    "fig2",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "obs4",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "olio",
+    "potential",
+    "verify-emulator",
+    "intervals",
+    "migration-ladder",
+)
+
+
+def generate_report(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    figures: Optional[Sequence[str]] = None,
+) -> str:
+    """Run the selected experiments and return one markdown report."""
+    settings = settings or ExperimentSettings()
+    selected = tuple(figures) if figures else DEFAULT_REPORT_ORDER
+    unknown = [f for f in selected if f.lower() not in FIGURES]
+    if unknown:
+        raise ConfigurationError(
+            f"unknown figures requested: {', '.join(unknown)}"
+        )
+    sections = [
+        "# Reproduction report — Virtual Machine Consolidation in the Wild",
+        "",
+        f"- library version: {__version__}",
+        f"- datacenter scale: {settings.scale}",
+        f"- evaluation window: {settings.evaluation_days} days, "
+        f"{settings.interval_hours:.0f} h intervals "
+        f"({settings.n_intervals} intervals)",
+        f"- live-migration reservation: {settings.reservation:.0%}",
+        "",
+    ]
+    for figure_id in selected:
+        started = time.perf_counter()
+        body = run_figure(figure_id, settings)
+        elapsed = time.perf_counter() - started
+        sections.append(f"## {figure_id}")
+        sections.append("")
+        sections.append("```text")
+        sections.append(body)
+        sections.append("```")
+        sections.append(f"*({elapsed:.1f}s)*")
+        sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,112 @@
+"""Sensitivity analysis over the live-migration reservation (Figs. 13-16).
+
+"For a utilization bound of U, 1-U fraction of all server resources are
+reserved for live migration."  The sweep re-runs dynamic consolidation
+at each bound while the semi-static variants (which take no reservation)
+stay fixed — the flat reference lines in the paper's figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.dynamic import DynamicConsolidation
+from repro.core.planner import ConsolidationPlanner
+from repro.core.semistatic import SemiStaticConsolidation
+from repro.core.stochastic import StochasticConsolidation
+from repro.experiments.settings import (
+    UTILIZATION_BOUND_SWEEP,
+    ExperimentSettings,
+)
+from repro.workloads.datacenters import generate_datacenter
+from repro.workloads.trace import TraceSet
+
+__all__ = ["SensitivityResult", "run_sensitivity"]
+
+
+@dataclass(frozen=True)
+class SensitivityResult:
+    """Server counts across the utilization-bound sweep for one DC."""
+
+    workload: str
+    semi_static_servers: int
+    stochastic_servers: int
+    dynamic_servers_by_bound: Dict[float, int]
+
+    def crossover_bound(self) -> Optional[float]:
+        """Smallest bound at which dynamic matches/beats stochastic.
+
+        The paper's Fig. 13 headline: Banking crosses at ~0.85.  Returns
+        None if dynamic never reaches stochastic within the sweep.
+        """
+        for bound in sorted(self.dynamic_servers_by_bound):
+            if self.dynamic_servers_by_bound[bound] <= (
+                self.stochastic_servers
+            ):
+                return bound
+        return None
+
+    def improvement_at_full_bound(self) -> float:
+        """Dynamic's server reduction vs stochastic with no reservation.
+
+        Positive values mean dynamic uses fewer servers (paper: ~18% for
+        Banking, ~17% for Natural Resources).
+        """
+        full = max(self.dynamic_servers_by_bound)
+        dynamic = self.dynamic_servers_by_bound[full]
+        return 1.0 - dynamic / self.stochastic_servers
+
+    def rows(self) -> Tuple[Dict[str, object], ...]:
+        return tuple(
+            {
+                "workload": self.workload,
+                "utilization_bound": bound,
+                "dynamic_servers": servers,
+                "semi_static_servers": self.semi_static_servers,
+                "stochastic_servers": self.stochastic_servers,
+            }
+            for bound, servers in sorted(
+                self.dynamic_servers_by_bound.items()
+            )
+        )
+
+
+def run_sensitivity(
+    datacenter_key: str,
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    bounds: Sequence[float] = UTILIZATION_BOUND_SWEEP,
+    trace_set: Optional[TraceSet] = None,
+) -> SensitivityResult:
+    """Sweep the dynamic utilization bound for one datacenter."""
+    settings = settings or ExperimentSettings()
+    if trace_set is None:
+        trace_set = generate_datacenter(datacenter_key, scale=settings.scale)
+    pool = settings.build_pool(trace_set)
+
+    reference = ConsolidationPlanner(
+        traces=trace_set,
+        datacenter=pool,
+        config=settings.planning_config(),
+        evaluation_days=settings.evaluation_days,
+    )
+    semi = reference.run(SemiStaticConsolidation()).provisioned_servers
+    stochastic = reference.run(StochasticConsolidation()).provisioned_servers
+
+    dynamic_by_bound: Dict[float, int] = {}
+    for bound in bounds:
+        planner = ConsolidationPlanner(
+            traces=trace_set,
+            datacenter=pool,
+            config=settings.planning_config(utilization_bound=bound),
+            evaluation_days=settings.evaluation_days,
+        )
+        result = planner.run(DynamicConsolidation())
+        dynamic_by_bound[float(bound)] = result.provisioned_servers
+    return SensitivityResult(
+        workload=trace_set.name,
+        semi_static_servers=semi,
+        stochastic_servers=stochastic,
+        dynamic_servers_by_bound=dynamic_by_bound,
+    )

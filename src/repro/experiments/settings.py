@@ -1,0 +1,117 @@
+"""Experimental settings (paper Table 3) and shared experiment plumbing.
+
+| Metric                         | Paper value |
+|--------------------------------|-------------|
+| Experiment duration            | 14 days     |
+| Dynamic consolidation interval | 2 hours     |
+| Number of intervals            | 168         |
+| CPU reserved for VMotion       | 20%         |
+| Memory reserved for VMotion    | 20%         |
+
+:class:`ExperimentSettings` additionally carries a ``scale`` factor so
+the same experiments run at laptop speed (scaled-down server counts with
+identical per-server statistics) or at the paper's full size.  The
+default scale comes from the ``REPRO_SCALE`` environment variable
+(default 0.25); set ``REPRO_SCALE=1.0`` to reproduce at full size.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field, replace
+from typing import Tuple
+
+from repro.core.base import PlanningConfig
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.costs import PowerCostModel, SpaceCostModel
+from repro.infrastructure.datacenter import Datacenter, build_target_pool
+from repro.workloads.trace import TraceSet
+
+__all__ = [
+    "ExperimentSettings",
+    "DEFAULT_SCALE_ENV",
+    "default_scale",
+    "UTILIZATION_BOUND_SWEEP",
+]
+
+DEFAULT_SCALE_ENV = "REPRO_SCALE"
+
+#: The utilization bounds swept in the sensitivity analysis (Figs. 13-16).
+UTILIZATION_BOUND_SWEEP: Tuple[float, ...] = (
+    0.70,
+    0.75,
+    0.80,
+    0.85,
+    0.90,
+    0.95,
+    1.00,
+)
+
+
+def default_scale() -> float:
+    """Experiment scale from the environment (``REPRO_SCALE``)."""
+    raw = os.environ.get(DEFAULT_SCALE_ENV, "0.25")
+    try:
+        scale = float(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"{DEFAULT_SCALE_ENV}={raw!r} is not a number"
+        ) from None
+    if scale <= 0:
+        raise ConfigurationError(f"{DEFAULT_SCALE_ENV} must be > 0, got {scale}")
+    return scale
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Everything Section-5 experiments need, with Table-3 defaults."""
+
+    evaluation_days: int = 14
+    interval_hours: float = 2.0
+    reservation: float = 0.20
+    scale: float = field(default_factory=default_scale)
+    space_cost: SpaceCostModel = field(default_factory=SpaceCostModel)
+    power_cost: PowerCostModel = field(default_factory=PowerCostModel)
+    #: Target pool size as a multiple of source-server count; generous so
+    #: the pool never constrains any plan.
+    pool_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.evaluation_days <= 0:
+            raise ConfigurationError("evaluation_days must be > 0")
+        if not 0 <= self.reservation < 1:
+            raise ConfigurationError(
+                f"reservation must be in [0, 1), got {self.reservation}"
+            )
+        if self.scale <= 0:
+            raise ConfigurationError(f"scale must be > 0, got {self.scale}")
+        if self.pool_fraction <= 0:
+            raise ConfigurationError("pool_fraction must be > 0")
+
+    @property
+    def utilization_bound(self) -> float:
+        return 1.0 - self.reservation
+
+    @property
+    def n_intervals(self) -> int:
+        return int(self.evaluation_days * 24 / self.interval_hours)
+
+    def planning_config(
+        self, utilization_bound: "float | None" = None
+    ) -> PlanningConfig:
+        return PlanningConfig(
+            utilization_bound=(
+                self.utilization_bound
+                if utilization_bound is None
+                else utilization_bound
+            ),
+            interval_hours=self.interval_hours,
+        )
+
+    def with_reservation(self, reservation: float) -> "ExperimentSettings":
+        return replace(self, reservation=reservation)
+
+    def build_pool(self, trace_set: TraceSet) -> Datacenter:
+        """A homogeneous HS23 pool large enough for any plan."""
+        host_count = max(12, int(len(trace_set) * self.pool_fraction))
+        return build_target_pool(f"{trace_set.name}-pool", host_count)

@@ -1,0 +1,221 @@
+"""Runtime validation of the reproduction against the paper's bands.
+
+``repro-vmc validate`` re-measures every calibrated quantity (Section-4
+statistics, Observation 4, the Fig. 7 orderings) and checks it against
+:mod:`repro.experiments.paper_targets` — the same bands the test suite
+pins, but available as a library call, so downstream users who change
+seeds, scales, or generator parameters can see exactly which published
+claims still hold.
+
+Each check yields a :class:`ValidationCheck` with the measured value,
+the band, and a verdict; :class:`ValidationReport` aggregates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.burstiness import analyze_burstiness
+from repro.analysis.resource_ratio import analyze_resource_ratio
+from repro.experiments import paper_targets as targets
+from repro.experiments.comparison import (
+    SCHEME_DYNAMIC,
+    SCHEME_STOCHASTIC,
+    run_comparison,
+)
+from repro.experiments.settings import ExperimentSettings
+from repro.migration.reliability import recommended_reservation
+from repro.workloads.appmodel import OLIO_MODEL
+from repro.workloads.datacenters import ALL_DATACENTERS, generate_datacenter
+
+__all__ = ["ValidationCheck", "ValidationReport", "validate_reproduction"]
+
+
+@dataclass(frozen=True)
+class ValidationCheck:
+    """One measured quantity against its paper band."""
+
+    name: str
+    measured: float
+    band: Tuple[float, float]
+    source: str
+
+    @property
+    def passed(self) -> bool:
+        low, high = self.band
+        return low <= self.measured <= high
+
+    def describe(self) -> str:
+        low, high = self.band
+        verdict = "ok" if self.passed else "OUT OF BAND"
+        return (
+            f"[{verdict}] {self.name}: {self.measured:.3f} "
+            f"(band {low:.3f}..{high:.3f}; {self.source})"
+        )
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """All checks for one validation run."""
+
+    scale: float
+    checks: Tuple[ValidationCheck, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(check.passed for check in self.checks)
+
+    @property
+    def failures(self) -> Tuple[ValidationCheck, ...]:
+        return tuple(c for c in self.checks if not c.passed)
+
+    def describe(self) -> str:
+        lines = [check.describe() for check in self.checks]
+        lines.append(
+            f"{len(self.checks) - len(self.failures)}/{len(self.checks)} "
+            f"checks inside the paper's bands (scale {self.scale})"
+        )
+        return "\n".join(lines)
+
+
+def _trace_checks(settings: ExperimentSettings) -> List[ValidationCheck]:
+    checks: List[ValidationCheck] = []
+    for config in ALL_DATACENTERS:
+        key = config.key
+        trace_set = generate_datacenter(key, scale=settings.scale)
+        burstiness = analyze_burstiness(trace_set, intervals_hours=(1.0,))
+        ratio = analyze_resource_ratio(trace_set)
+        checks.extend(
+            [
+                ValidationCheck(
+                    name=f"{key}: mean CPU utilization",
+                    measured=trace_set.mean_cpu_utilization(),
+                    band=targets.MEAN_CPU_UTILIZATION[key],
+                    source="Table 2",
+                ),
+                ValidationCheck(
+                    name=f"{key}: CPU P2A median (1h)",
+                    measured=burstiness.median_p2a("cpu", 1.0),
+                    band=targets.CPU_P2A_MEDIAN_1H[key],
+                    source="Fig 2 / Obs 1",
+                ),
+                ValidationCheck(
+                    name=f"{key}: CPU CoV>=1 fraction",
+                    measured=burstiness.cov["cpu"].fraction_above(1.0),
+                    band=targets.CPU_COV_HEAVY_TAILED_FRACTION[key],
+                    source="Fig 3 / Obs 1",
+                ),
+                ValidationCheck(
+                    name=f"{key}: memory P2A<=1.5 fraction",
+                    measured=burstiness.peak_to_average[("memory", 1.0)].at(
+                        1.5
+                    ),
+                    band=targets.MEMORY_P2A_LE_1_5_FRACTION[key],
+                    source="Fig 4 / Obs 2",
+                ),
+                ValidationCheck(
+                    name=f"{key}: memory CoV>=1 fraction",
+                    measured=burstiness.cov["memory"].fraction_above(1.0),
+                    band=targets.MEMORY_COV_HEAVY_TAILED_FRACTION[key],
+                    source="Fig 5 / Obs 2",
+                ),
+                ValidationCheck(
+                    name=f"{key}: memory-constrained interval fraction",
+                    measured=ratio.fraction_memory_constrained,
+                    band=targets.MEMORY_CONSTRAINED_FRACTION[key],
+                    source="Fig 6 / Obs 3",
+                ),
+            ]
+        )
+    return checks
+
+
+def _comparison_checks(settings: ExperimentSettings) -> List[ValidationCheck]:
+    checks: List[ValidationCheck] = []
+    slack = targets.SPACE_ORDERING["stochastic_not_worse_than_dynamic_slack"]
+    exceptions = targets.SPACE_ORDERING["dynamic_beats_vanilla_except"]
+    for config in ALL_DATACENTERS:
+        key = config.key
+        comparison = run_comparison(key, settings)
+        space = comparison.normalized_space_cost()
+        power = comparison.normalized_power_cost()
+        checks.append(
+            ValidationCheck(
+                name=f"{key}: stochastic space vs vanilla",
+                measured=space[SCHEME_STOCHASTIC],
+                band=targets.STOCHASTIC_SPACE_VS_VANILLA[key],
+                source="Fig 7",
+            )
+        )
+        checks.append(
+            ValidationCheck(
+                name=f"{key}: stochastic-vs-dynamic space gap",
+                measured=space[SCHEME_STOCHASTIC] - space[SCHEME_DYNAMIC],
+                band=(-10.0, slack),
+                source="Fig 7 ordering",
+            )
+        )
+        dynamic_band = (
+            (1.0, 10.0) if key in exceptions else (0.0, 1.0)
+        )
+        checks.append(
+            ValidationCheck(
+                name=f"{key}: dynamic space vs vanilla",
+                measured=space[SCHEME_DYNAMIC],
+                band=dynamic_band,
+                source="Fig 7 ordering",
+            )
+        )
+        checks.append(
+            ValidationCheck(
+                name=f"{key}: dynamic/stochastic power ratio",
+                measured=power[SCHEME_DYNAMIC] / power[SCHEME_STOCHASTIC],
+                band=targets.DYNAMIC_POWER_VS_STOCHASTIC[key],
+                source="Fig 7 power",
+            )
+        )
+    return checks
+
+
+def _global_checks() -> List[ValidationCheck]:
+    throughput, cpu_factor, memory_factor = OLIO_MODEL.scaling_factors(10, 60)
+    return [
+        ValidationCheck(
+            name="migration reservation",
+            measured=recommended_reservation(),
+            band=targets.MIGRATION_RESERVATION,
+            source="Obs 4",
+        ),
+        ValidationCheck(
+            name="olio CPU scaling factor",
+            measured=cpu_factor,
+            band=targets.OLIO_SCALING["cpu_factor"],
+            source="§4.1",
+        ),
+        ValidationCheck(
+            name="olio memory scaling factor",
+            measured=memory_factor,
+            band=targets.OLIO_SCALING["memory_factor"],
+            source="§4.1",
+        ),
+    ]
+
+
+def validate_reproduction(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    include_comparison: bool = True,
+) -> ValidationReport:
+    """Run every paper-band check and return the aggregated report.
+
+    ``include_comparison=False`` limits validation to the (fast)
+    trace-level statistics plus the global checks — useful when only
+    generator parameters changed.
+    """
+    settings = settings or ExperimentSettings()
+    checks = _trace_checks(settings)
+    checks.extend(_global_checks())
+    if include_comparison:
+        checks.extend(_comparison_checks(settings))
+    return ValidationReport(scale=settings.scale, checks=tuple(checks))

@@ -1,0 +1,21 @@
+"""Datacenter infrastructure: servers, VMs, topology, power and cost models."""
+
+from repro.infrastructure.costs import PowerCostModel, SpaceCostModel, normalize
+from repro.infrastructure.datacenter import Datacenter, build_target_pool
+from repro.infrastructure.power import LinearPowerModel
+from repro.infrastructure.server import PhysicalServer, ServerSpec
+from repro.infrastructure.vm import VirtualMachine, VMDemand, WorkloadClass
+
+__all__ = [
+    "Datacenter",
+    "LinearPowerModel",
+    "PhysicalServer",
+    "PowerCostModel",
+    "ServerSpec",
+    "SpaceCostModel",
+    "VMDemand",
+    "VirtualMachine",
+    "WorkloadClass",
+    "build_target_pool",
+    "normalize",
+]

@@ -1,0 +1,118 @@
+"""Facilities cost models.
+
+Section 5.3 of the paper defines two infrastructure cost parameters:
+
+* **Space and hardware** — "derived based on the number of servers and
+  their specifications, the size of the racks and their occupancy, and
+  the space cost of raised floor for the datacenter".
+* **Power cost** — energy drawn by operational servers, priced per kWh.
+
+Absolute prices are confidential in the paper; all reported results are
+*normalized to the vanilla semi-static plan*, which this module supports
+via :func:`normalize`.  Defaults below are publicly-typical 2012 values;
+only ratios matter for reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SpaceCostModel", "PowerCostModel", "normalize"]
+
+
+@dataclass(frozen=True)
+class SpaceCostModel:
+    """Space + hardware cost as a function of provisioned server count.
+
+    Cost components per the paper:
+
+    * server hardware: ``server_cost`` each,
+    * rack enclosures: ``ceil(servers / hosts_per_rack) * rack_cost``,
+    * raised floor: ``racks * floor_cost_per_rack``.
+    """
+
+    server_cost: float = 8000.0
+    rack_cost: float = 4000.0
+    floor_cost_per_rack: float = 3000.0
+    hosts_per_rack: int = 14
+
+    def __post_init__(self) -> None:
+        if self.hosts_per_rack <= 0:
+            raise ConfigurationError(
+                f"hosts_per_rack must be > 0, got {self.hosts_per_rack}"
+            )
+        for field_name in ("server_cost", "rack_cost", "floor_cost_per_rack"):
+            if getattr(self, field_name) < 0:
+                raise ConfigurationError(f"{field_name} must be >= 0")
+
+    def racks_needed(self, server_count: int) -> int:
+        if server_count < 0:
+            raise ConfigurationError(
+                f"server_count must be >= 0, got {server_count}"
+            )
+        return math.ceil(server_count / self.hosts_per_rack)
+
+    def cost(self, server_count: int) -> float:
+        """Total space + hardware cost for ``server_count`` servers."""
+        racks = self.racks_needed(server_count)
+        return (
+            server_count * self.server_cost
+            + racks * (self.rack_cost + self.floor_cost_per_rack)
+        )
+
+
+@dataclass(frozen=True)
+class PowerCostModel:
+    """Energy price; converts kWh into cost.
+
+    ``pue`` (power usage effectiveness) multiplies IT energy to account
+    for cooling and distribution overhead, as facilities bills do.
+    """
+
+    price_per_kwh: float = 0.10
+    pue: float = 1.8
+
+    def __post_init__(self) -> None:
+        if self.price_per_kwh < 0:
+            raise ConfigurationError(
+                f"price_per_kwh must be >= 0, got {self.price_per_kwh}"
+            )
+        if self.pue < 1.0:
+            raise ConfigurationError(f"pue must be >= 1.0, got {self.pue}")
+
+    def cost(self, it_energy_kwh: float) -> float:
+        if it_energy_kwh < 0:
+            raise ConfigurationError(
+                f"it_energy_kwh must be >= 0, got {it_energy_kwh}"
+            )
+        return it_energy_kwh * self.pue * self.price_per_kwh
+
+
+def normalize(
+    costs: Mapping[str, float], baseline_key: str
+) -> "dict[str, float]":
+    """Normalize a ``{scheme: cost}`` mapping to one scheme's cost.
+
+    The paper reports all Fig. 7 costs "normalized with respect to the
+    cost of the Vanilla semi-static approach".
+
+    Raises
+    ------
+    ConfigurationError
+        If the baseline key is missing or its cost is zero (nothing to
+        normalize against).
+    """
+    if baseline_key not in costs:
+        raise ConfigurationError(
+            f"baseline {baseline_key!r} not in costs {sorted(costs)}"
+        )
+    base = costs[baseline_key]
+    if base == 0:
+        raise ConfigurationError(
+            f"baseline {baseline_key!r} has zero cost; cannot normalize"
+        )
+    return {key: value / base for key, value in costs.items()}

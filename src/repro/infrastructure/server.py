@@ -1,0 +1,127 @@
+"""Physical server abstractions.
+
+A :class:`ServerSpec` captures the two resources that VM consolidation
+plans over in the paper (CPU in RPE2 units and memory in GB — enterprise
+datacenters use SAN storage, so disk is not a server-owned resource).  A
+:class:`PhysicalServer` is a spec plus identity and datacenter topology
+placement (rack, subnet), which the constraint framework uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.catalog import ServerModel
+
+__all__ = ["ServerSpec", "PhysicalServer"]
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Capacity of one physical server.
+
+    Attributes
+    ----------
+    cpu_rpe2:
+        Compute capacity in RPE2 units.
+    memory_gb:
+        Installed RAM in GB.
+    network_mbps / disk_mbps:
+        Usable link and storage throughput.  The paper's planner "uses
+        network and disk throughput as constraints to identify hosts
+        with sufficient link bandwidth" (§3.1); these are those
+        capacities.  Defaults model a 10 GbE converged fabric and an
+        8 Gb FC SAN HBA — the virtualization-host I/O of the HS23 era.
+    model_name:
+        Catalog key this spec was derived from (informational).
+    """
+
+    cpu_rpe2: float
+    memory_gb: float
+    network_mbps: float = 10_000.0
+    disk_mbps: float = 4_000.0
+    model_name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if self.cpu_rpe2 <= 0:
+            raise ConfigurationError(f"cpu_rpe2 must be > 0, got {self.cpu_rpe2}")
+        if self.memory_gb <= 0:
+            raise ConfigurationError(f"memory_gb must be > 0, got {self.memory_gb}")
+        if self.network_mbps <= 0:
+            raise ConfigurationError(
+                f"network_mbps must be > 0, got {self.network_mbps}"
+            )
+        if self.disk_mbps <= 0:
+            raise ConfigurationError(
+                f"disk_mbps must be > 0, got {self.disk_mbps}"
+            )
+
+    @classmethod
+    def from_model(cls, model: ServerModel) -> "ServerSpec":
+        """Build a spec from a catalog :class:`ServerModel`."""
+        return cls(
+            cpu_rpe2=model.cpu_rpe2,
+            memory_gb=model.memory_gb,
+            model_name=model.name,
+        )
+
+    @property
+    def cpu_memory_ratio(self) -> float:
+        """RPE2 per GB of RAM (Fig. 6 comparison metric)."""
+        return self.cpu_rpe2 / self.memory_gb
+
+    def scaled(self, factor: float) -> "ServerSpec":
+        """Return a spec with all resources scaled by ``factor``.
+
+        Used to express utilization bounds: a host packed to an 80% bound
+        behaves like a host with ``spec.scaled(0.8)`` capacity.  Network
+        scales too — live migration is itself a network consumer, so the
+        reservation covers the link as well.
+        """
+        if factor <= 0:
+            raise ConfigurationError(f"scale factor must be > 0, got {factor}")
+        return ServerSpec(
+            cpu_rpe2=self.cpu_rpe2 * factor,
+            memory_gb=self.memory_gb * factor,
+            network_mbps=self.network_mbps * factor,
+            disk_mbps=self.disk_mbps * factor,
+            model_name=self.model_name,
+        )
+
+
+@dataclass(frozen=True)
+class PhysicalServer:
+    """One physical host in a datacenter.
+
+    Attributes
+    ----------
+    host_id:
+        Unique identifier within the datacenter.
+    spec:
+        Hardware capacity.
+    rack / subnet:
+        Topology labels used by affinity constraints.  ``None`` means
+        "unspecified"; topology constraints on such hosts fail closed.
+    model:
+        Optional full catalog model (power curve lives here).
+    """
+
+    host_id: str
+    spec: ServerSpec
+    rack: Optional[str] = None
+    subnet: Optional[str] = None
+    model: Optional[ServerModel] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if not self.host_id:
+            raise ConfigurationError("host_id must be a non-empty string")
+
+    @property
+    def cpu_rpe2(self) -> float:
+        return self.spec.cpu_rpe2
+
+    @property
+    def memory_gb(self) -> float:
+        return self.spec.memory_gb

@@ -1,0 +1,23 @@
+"""Server capacity metrics: RPE2 units and the hardware catalog."""
+
+from repro.metrics.catalog import (
+    HS23_ELITE,
+    SOURCE_MODELS,
+    ServerModel,
+    get_model,
+    list_models,
+    register_model,
+)
+from repro.metrics.rpe2 import Rpe2, rpe2_to_utilization, utilization_to_rpe2
+
+__all__ = [
+    "Rpe2",
+    "ServerModel",
+    "HS23_ELITE",
+    "SOURCE_MODELS",
+    "get_model",
+    "list_models",
+    "register_model",
+    "rpe2_to_utilization",
+    "utilization_to_rpe2",
+]

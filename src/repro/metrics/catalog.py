@@ -1,0 +1,155 @@
+"""Hardware catalog: server models with RPE2 capacity and memory.
+
+The paper anchors all CPU:memory ratio comparisons on one reference
+machine, the *IBM HS23 Elite* blade (2 processors, 128 GB RAM), whose
+CPU:memory ratio is 160 RPE2 per GB (Fig. 6 caption).  We encode that
+anchor exactly: ``HS23_ELITE`` has 128 GB and ``160 * 128 = 20480`` RPE2.
+
+Source (pre-consolidation) servers in 2012-era enterprise datacenters were
+mostly small 1-2 socket Windows boxes.  The catalog provides a handful of
+representative source models; their absolute RPE2 values are on the same
+scale as the HS23 anchor so demand aggregation is consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "ServerModel",
+    "HS23_ELITE",
+    "SOURCE_MODELS",
+    "get_model",
+    "register_model",
+    "list_models",
+]
+
+
+@dataclass(frozen=True)
+class ServerModel:
+    """A hardware model in the catalog.
+
+    Attributes
+    ----------
+    name:
+        Catalog key, e.g. ``"hs23-elite"``.
+    cpu_rpe2:
+        Total compute capacity in RPE2 units.
+    memory_gb:
+        Installed RAM in GB.
+    idle_watts / peak_watts:
+        Power draw at idle and at 100% CPU utilization, used by the linear
+        power model.
+    description:
+        Human-readable description for reports.
+    """
+
+    name: str
+    cpu_rpe2: float
+    memory_gb: float
+    idle_watts: float
+    peak_watts: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.cpu_rpe2 <= 0:
+            raise ConfigurationError(f"{self.name}: cpu_rpe2 must be > 0")
+        if self.memory_gb <= 0:
+            raise ConfigurationError(f"{self.name}: memory_gb must be > 0")
+        if self.idle_watts < 0 or self.peak_watts < self.idle_watts:
+            raise ConfigurationError(
+                f"{self.name}: need 0 <= idle_watts <= peak_watts, "
+                f"got idle={self.idle_watts}, peak={self.peak_watts}"
+            )
+
+    @property
+    def cpu_memory_ratio(self) -> float:
+        """RPE2 per GB of RAM — the paper's Fig. 6 comparison metric."""
+        return self.cpu_rpe2 / self.memory_gb
+
+
+#: The reference virtualization blade from the paper: 2 processors, 128 GB,
+#: CPU:memory ratio of exactly 160 RPE2/GB.
+HS23_ELITE = ServerModel(
+    name="hs23-elite",
+    cpu_rpe2=160.0 * 128.0,
+    memory_gb=128.0,
+    idle_watts=160.0,
+    peak_watts=400.0,
+    description="IBM HS23 Elite blade, 2 sockets, 128 GB (extended memory)",
+)
+
+#: Representative 2012-era source (pre-consolidation) server models.
+#: Small Windows boxes: 1-2 sockets, 2-16 GB RAM.
+SOURCE_MODELS: Tuple[ServerModel, ...] = (
+    ServerModel(
+        name="rack-1u-small",
+        cpu_rpe2=1800.0,
+        memory_gb=4.0,
+        idle_watts=110.0,
+        peak_watts=220.0,
+        description="1U single-socket pizza box, 4 GB",
+    ),
+    ServerModel(
+        name="rack-1u-medium",
+        cpu_rpe2=3000.0,
+        memory_gb=8.0,
+        idle_watts=130.0,
+        peak_watts=280.0,
+        description="1U dual-core, 8 GB",
+    ),
+    ServerModel(
+        name="rack-2u-large",
+        cpu_rpe2=5200.0,
+        memory_gb=16.0,
+        idle_watts=180.0,
+        peak_watts=380.0,
+        description="2U dual-socket, 16 GB",
+    ),
+)
+
+_CATALOG: Dict[str, ServerModel] = {m.name: m for m in (HS23_ELITE, *SOURCE_MODELS)}
+
+
+def get_model(name: str) -> ServerModel:
+    """Look up a server model by catalog key.
+
+    Raises
+    ------
+    ConfigurationError
+        If the model is not in the catalog.
+    """
+    try:
+        return _CATALOG[name]
+    except KeyError:
+        known = ", ".join(sorted(_CATALOG))
+        raise ConfigurationError(
+            f"unknown server model {name!r}; known models: {known}"
+        ) from None
+
+
+def register_model(model: ServerModel, *, replace: bool = False) -> None:
+    """Add a custom server model to the catalog.
+
+    Parameters
+    ----------
+    model:
+        The model to register.
+    replace:
+        Allow overwriting an existing entry.  Off by default so tests and
+        applications do not silently clobber the built-in anchors.
+    """
+    if model.name in _CATALOG and not replace:
+        raise ConfigurationError(
+            f"server model {model.name!r} already registered; "
+            "pass replace=True to overwrite"
+        )
+    _CATALOG[model.name] = model
+
+
+def list_models() -> Tuple[ServerModel, ...]:
+    """Return all registered models, sorted by name."""
+    return tuple(_CATALOG[k] for k in sorted(_CATALOG))

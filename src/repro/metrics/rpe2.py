@@ -1,0 +1,86 @@
+"""RPE2-style server compute capacity units.
+
+The paper measures CPU demand in units of the *IDEAS RPE2 Relative Server
+Performance Estimate v2* benchmark, a scalar "how much compute can this box
+deliver" number.  The absolute scale is arbitrary; consolidation planning
+only ever compares RPE2 demand against RPE2 capacity, and compares the
+aggregate CPU:memory demand ratio against a reference server's ratio.
+
+This module provides a tiny value type, :class:`Rpe2`, that makes the unit
+explicit in signatures, plus conversion helpers between utilization
+fractions and RPE2 demand.  ``Rpe2`` intentionally behaves like a float in
+arithmetic so numpy vectorization stays trivial.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Rpe2", "utilization_to_rpe2", "rpe2_to_utilization"]
+
+
+@dataclass(frozen=True, order=True)
+class Rpe2:
+    """A compute capacity or demand expressed in RPE2 units.
+
+    The wrapper exists for readability at API boundaries (``capacity:
+    Rpe2``) while staying cheap: ``float(x)`` unwraps it, and arithmetic
+    with plain numbers returns plain floats.
+    """
+
+    value: float
+
+    def __post_init__(self) -> None:
+        if self.value < 0:
+            raise ConfigurationError(
+                f"RPE2 capacity must be non-negative, got {self.value}"
+            )
+
+    def __float__(self) -> float:
+        return float(self.value)
+
+    def __add__(self, other: "Rpe2 | float") -> "Rpe2":
+        return Rpe2(self.value + float(other))
+
+    def __sub__(self, other: "Rpe2 | float") -> "Rpe2":
+        return Rpe2(self.value - float(other))
+
+    def __mul__(self, factor: float) -> "Rpe2":
+        return Rpe2(self.value * float(factor))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: "Rpe2 | float") -> float:
+        return self.value / float(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - trivial
+        return f"Rpe2({self.value:g})"
+
+
+def utilization_to_rpe2(utilization: float, capacity_rpe2: float) -> float:
+    """Convert a CPU utilization fraction into absolute RPE2 demand.
+
+    Parameters
+    ----------
+    utilization:
+        CPU utilization as a fraction of the host's capacity.  Values above
+        1.0 are allowed — they represent unsatisfied (contended) demand.
+    capacity_rpe2:
+        The host's total compute capacity in RPE2 units.
+    """
+    if utilization < 0:
+        raise ConfigurationError(f"utilization must be >= 0, got {utilization}")
+    if capacity_rpe2 <= 0:
+        raise ConfigurationError(f"capacity must be > 0, got {capacity_rpe2}")
+    return utilization * capacity_rpe2
+
+
+def rpe2_to_utilization(demand_rpe2: float, capacity_rpe2: float) -> float:
+    """Convert absolute RPE2 demand into a utilization fraction of a host."""
+    if demand_rpe2 < 0:
+        raise ConfigurationError(f"demand must be >= 0, got {demand_rpe2}")
+    if capacity_rpe2 <= 0:
+        raise ConfigurationError(f"capacity must be > 0, got {capacity_rpe2}")
+    return demand_rpe2 / capacity_rpe2

@@ -1,0 +1,32 @@
+"""Agent-based monitoring pipeline: metrics, agents, warehouse (§3.1)."""
+
+from repro.monitoring.agent import (
+    MINUTES_PER_HOUR,
+    IntraHourModel,
+    MinuteRecord,
+    MonitoringAgent,
+)
+from repro.monitoring.metrics import (
+    CPU_TOTAL,
+    MEMORY_COMMITTED,
+    TABLE1_METRICS,
+    MetricDefinition,
+    get_metric,
+    planning_metrics,
+)
+from repro.monitoring.warehouse import DataWarehouse, WarehouseRecord
+
+__all__ = [
+    "CPU_TOTAL",
+    "DataWarehouse",
+    "IntraHourModel",
+    "MEMORY_COMMITTED",
+    "MINUTES_PER_HOUR",
+    "MetricDefinition",
+    "MinuteRecord",
+    "MonitoringAgent",
+    "TABLE1_METRICS",
+    "WarehouseRecord",
+    "get_metric",
+    "planning_metrics",
+]

@@ -1,0 +1,126 @@
+"""The monitored metric catalog (paper Table 1).
+
+"The monitoring agent collects a wide variety of metrics every minute
+for each operating system instance in the data center."  Table 1 lists
+them; this module encodes the catalog so agents and the warehouse share
+one schema, with the two planning-relevant metrics (processor time and
+committed memory) flagged.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "MetricDefinition",
+    "TABLE1_METRICS",
+    "CPU_TOTAL",
+    "MEMORY_COMMITTED",
+    "get_metric",
+    "planning_metrics",
+]
+
+
+@dataclass(frozen=True)
+class MetricDefinition:
+    """One row of the paper's Table 1."""
+
+    key: str
+    description: str
+    unit: str
+    #: Consolidation planning optimizes CPU and memory (§3.1); the rest
+    #: are collected but only used as constraints or ignored.
+    used_for_planning: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ConfigurationError("metric key must be non-empty")
+
+
+CPU_TOTAL = MetricDefinition(
+    key="pct_total_processor_time",
+    description="Total Processor Time",
+    unit="percent",
+    used_for_planning=True,
+)
+
+MEMORY_COMMITTED = MetricDefinition(
+    key="memory_committed_mb",
+    description="Memory Committed in Bytes (MB)",
+    unit="MB",
+    used_for_planning=True,
+)
+
+#: The full Table 1 catalog, in the paper's order.
+TABLE1_METRICS: Tuple[MetricDefinition, ...] = (
+    CPU_TOTAL,
+    MetricDefinition(
+        key="pct_priv",
+        description="Percent time spent in System mode",
+        unit="percent",
+    ),
+    MetricDefinition(
+        key="pct_user",
+        description="Percent time spent in User mode",
+        unit="percent",
+    ),
+    MetricDefinition(
+        key="proc_queue_length",
+        description="Processor Queue Length",
+        unit="count",
+    ),
+    MetricDefinition(
+        key="pages_per_sec",
+        description="Pages In Per Second",
+        unit="pages/s",
+    ),
+    MEMORY_COMMITTED,
+    MetricDefinition(
+        key="memory_average_pct",
+        description="% of Memory Committed Used",
+        unit="percent",
+    ),
+    MetricDefinition(
+        key="dasd_pct_free",
+        description="% time DAS Device is free",
+        unit="percent",
+    ),
+    MetricDefinition(
+        key="log_vol_reads",
+        description="# Log Vol Reads",
+        unit="count",
+    ),
+    MetricDefinition(
+        key="tcpip_conn",
+        description="Number of TCP/IP Packets transferred",
+        unit="packets/s",
+    ),
+    MetricDefinition(
+        key="tcpip_conn_v6",
+        description="Number of IPv6 Packets transferred",
+        unit="packets/s",
+    ),
+)
+
+_BY_KEY: Mapping[str, MetricDefinition] = {
+    metric.key: metric for metric in TABLE1_METRICS
+}
+
+
+def get_metric(key: str) -> MetricDefinition:
+    """Look up a Table-1 metric by key."""
+    try:
+        return _BY_KEY[key]
+    except KeyError:
+        known = ", ".join(sorted(_BY_KEY))
+        raise ConfigurationError(
+            f"unknown metric {key!r}; known: {known}"
+        ) from None
+
+
+def planning_metrics() -> Tuple[MetricDefinition, ...]:
+    """The metrics the consolidation planner actually consumes."""
+    return tuple(m for m in TABLE1_METRICS if m.used_for_planning)

@@ -1,0 +1,293 @@
+"""Multi-dimensional bin-packing heuristics for VM placement.
+
+The paper uses First-Fit-Decreasing as the representative placement
+heuristic for static and semi-static consolidation (§2.2.1), with a
+utilization bound expressing the live-migration reservation (§4.3): a
+bound of 0.8 leaves 20% of each host's CPU and memory unpacked.
+
+Two pieces:
+
+* :class:`Bin` — one host's running totals during packing, including
+  PCP's *tail pooling*: per-VM bodies accumulate, but only the largest
+  tail is reserved per host.
+* :func:`pack` — FFD/BFD over a host list with constraint support,
+  a preferred-host map (dynamic consolidation seeds it with the previous
+  interval's assignment to avoid gratuitous migrations), and strict
+  error reporting when a VM fits nowhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.constraints.manager import ConstraintSet
+from repro.exceptions import ConfigurationError, PlacementError
+from repro.infrastructure.datacenter import Datacenter
+from repro.infrastructure.server import PhysicalServer
+from repro.infrastructure.vm import VMDemand
+from repro.placement.plan import Placement
+
+__all__ = ["Bin", "pack", "sort_decreasing"]
+
+
+@dataclass
+class Bin:
+    """One host's packing state.
+
+    Capacity is the host spec scaled by the utilization bound.  Body
+    demands accumulate; tail demands pool (only the per-host maximum is
+    reserved) — the PCP sizing contract.  For body-only demands the tail
+    fields stay zero and the bin behaves like a plain vector bin.
+    """
+
+    host: PhysicalServer
+    cpu_capacity: float
+    memory_capacity: float
+    network_capacity: float = float("inf")
+    disk_capacity: float = float("inf")
+    body_cpu: float = 0.0
+    body_memory: float = 0.0
+    body_network: float = 0.0
+    body_disk: float = 0.0
+    max_tail_cpu: float = 0.0
+    max_tail_memory: float = 0.0
+    vm_ids: List[str] = field(default_factory=list)
+
+    @classmethod
+    def for_host(cls, host: PhysicalServer, utilization_bound: float) -> "Bin":
+        if not 0 < utilization_bound <= 1:
+            raise ConfigurationError(
+                f"utilization_bound must be in (0, 1], got {utilization_bound}"
+            )
+        return cls(
+            host=host,
+            cpu_capacity=host.cpu_rpe2 * utilization_bound,
+            memory_capacity=host.memory_gb * utilization_bound,
+            network_capacity=host.spec.network_mbps * utilization_bound,
+            disk_capacity=host.spec.disk_mbps * utilization_bound,
+        )
+
+    @property
+    def used_cpu(self) -> float:
+        """Reserved CPU: sum of bodies plus the pooled tail."""
+        return self.body_cpu + self.max_tail_cpu
+
+    @property
+    def used_memory(self) -> float:
+        return self.body_memory + self.max_tail_memory
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.vm_ids
+
+    def fits(self, demand: VMDemand) -> bool:
+        """Would adding the VM keep every resource within capacity?
+
+        CPU and memory are the optimized dimensions; link bandwidth is a
+        feasibility constraint (paper §3.1) checked the same way.
+        """
+        cpu_after = (
+            self.body_cpu
+            + demand.cpu_rpe2
+            + max(self.max_tail_cpu, demand.tail_cpu_rpe2)
+        )
+        memory_after = (
+            self.body_memory
+            + demand.memory_gb
+            + max(self.max_tail_memory, demand.tail_memory_gb)
+        )
+        network_after = self.body_network + demand.network_mbps
+        disk_after = self.body_disk + demand.disk_mbps
+        return (
+            cpu_after <= self.cpu_capacity + 1e-9
+            and memory_after <= self.memory_capacity + 1e-9
+            and network_after <= self.network_capacity + 1e-9
+            and disk_after <= self.disk_capacity + 1e-9
+        )
+
+    def add(self, demand: VMDemand) -> None:
+        if not self.fits(demand):
+            raise PlacementError(
+                f"{demand.vm_id} does not fit on {self.host.host_id}"
+            )
+        self.body_cpu += demand.cpu_rpe2
+        self.body_memory += demand.memory_gb
+        self.body_network += demand.network_mbps
+        self.body_disk += demand.disk_mbps
+        self.max_tail_cpu = max(self.max_tail_cpu, demand.tail_cpu_rpe2)
+        self.max_tail_memory = max(self.max_tail_memory, demand.tail_memory_gb)
+        self.vm_ids.append(demand.vm_id)
+
+    def residual(self) -> float:
+        """Scalar slack measure used by best-fit: min normalized headroom."""
+        cpu_slack = (self.cpu_capacity - self.used_cpu) / self.cpu_capacity
+        memory_slack = (
+            self.memory_capacity - self.used_memory
+        ) / self.memory_capacity
+        return min(cpu_slack, memory_slack)
+
+
+def sort_decreasing(
+    demands: Sequence[VMDemand], reference: PhysicalServer
+) -> List[VMDemand]:
+    """FFD order: decreasing by the dominant normalized resource.
+
+    Each VM is scored by ``max(cpu / host_cpu, memory / host_memory)``
+    including its tail — the standard scalarization for vector bin
+    packing, which keeps memory-heavy and CPU-heavy VMs comparable.
+    Ties break on vm_id for determinism.
+    """
+    def key(demand: VMDemand) -> Tuple[float, str]:
+        score = max(
+            demand.total_cpu_rpe2 / reference.cpu_rpe2,
+            demand.total_memory_gb / reference.memory_gb,
+        )
+        return (-score, demand.vm_id)
+
+    return sorted(demands, key=key)
+
+
+def pack(
+    demands: Sequence[VMDemand],
+    hosts: Sequence[PhysicalServer],
+    *,
+    utilization_bound: float = 1.0,
+    strategy: str = "ffd",
+    constraints: Optional[ConstraintSet] = None,
+    datacenter: Optional[Datacenter] = None,
+    preferred: Optional[Mapping[str, str]] = None,
+) -> Placement:
+    """Pack VM demands onto hosts; returns a validated placement.
+
+    Parameters
+    ----------
+    demands:
+        Sized VM demands (bodies, optionally tails for PCP pooling).
+    hosts:
+        Candidate hosts, in preference order — earlier hosts fill first,
+        so the number of *used* hosts is what the heuristic minimizes.
+    utilization_bound:
+        Fraction of each host's capacity available for packing; the rest
+        is the live-migration reservation (paper baseline: 0.8).
+    strategy:
+        ``"ffd"`` (first fit) or ``"bfd"`` (best fit = tightest residual).
+    constraints / datacenter:
+        Deployment constraints; ``datacenter`` is required when
+        constraints are given (topology lookups).
+    preferred:
+        Optional VM → host_id hints tried before any other host; used by
+        dynamic consolidation to keep VMs where they already run.
+
+    Raises
+    ------
+    PlacementError
+        If any VM fits on no host (capacity or constraints).
+    ConstraintViolation
+        If the greedy pass finished but a group constraint ended up
+        violated (e.g. a Colocate partner could not follow).
+    """
+    if strategy not in ("ffd", "bfd"):
+        raise ConfigurationError(
+            f"unknown strategy {strategy!r}; expected 'ffd' or 'bfd'"
+        )
+    if not hosts:
+        raise PlacementError("no hosts to pack onto")
+    if constraints and datacenter is None:
+        raise ConfigurationError(
+            "constraints require a datacenter for topology lookups"
+        )
+    seen: Dict[str, bool] = {}
+    for demand in demands:
+        if demand.vm_id in seen:
+            raise PlacementError(f"duplicate demand for VM {demand.vm_id!r}")
+        seen[demand.vm_id] = True
+
+    bins = [Bin.for_host(host, utilization_bound) for host in hosts]
+    bin_of_host = {b.host.host_id: b for b in bins}
+    assignment: Dict[str, str] = {}
+    ordered = sort_decreasing(demands, hosts[0])
+    if constraints:
+        # Constrained VMs first (stable within each group): a pinned or
+        # affinity-bound VM must claim its feasible hosts before
+        # unconstrained VMs fill them.
+        ordered = sorted(
+            ordered,
+            key=lambda d: not constraints.constraints_for(d.vm_id),
+        )
+
+    for demand in ordered:
+        target = _choose_bin(
+            demand,
+            bins,
+            bin_of_host,
+            assignment,
+            strategy=strategy,
+            constraints=constraints,
+            datacenter=datacenter,
+            preferred=preferred,
+        )
+        if target is None:
+            raise PlacementError(
+                f"VM {demand.vm_id} (cpu={demand.total_cpu_rpe2:.0f} RPE2, "
+                f"mem={demand.total_memory_gb:.2f} GB) fits on no host at "
+                f"bound {utilization_bound}"
+            )
+        target.add(demand)
+        assignment[demand.vm_id] = target.host.host_id
+
+    if constraints and datacenter is not None:
+        constraints.validate(assignment, datacenter)
+    return Placement(assignment=assignment)
+
+
+def _choose_bin(
+    demand: VMDemand,
+    bins: Sequence[Bin],
+    bin_of_host: Mapping[str, Bin],
+    assignment: Mapping[str, str],
+    *,
+    strategy: str,
+    constraints: Optional[ConstraintSet],
+    datacenter: Optional[Datacenter],
+    preferred: Optional[Mapping[str, str]],
+) -> Optional[Bin]:
+    """Pick the bin for one VM, or None if nothing admits it."""
+    def admissible(candidate: Bin) -> bool:
+        if not candidate.fits(demand):
+            return False
+        if constraints and datacenter is not None:
+            return constraints.feasible(
+                demand.vm_id, candidate.host, assignment, datacenter
+            )
+        return True
+
+    if preferred is not None:
+        hint = preferred.get(demand.vm_id)
+        if hint is not None:
+            hinted_bin = bin_of_host.get(hint)
+            if hinted_bin is not None and admissible(hinted_bin):
+                return hinted_bin
+
+    if strategy == "ffd":
+        for candidate in bins:
+            if admissible(candidate):
+                return candidate
+        return None
+
+    # Best fit: among open (non-empty) bins pick the tightest residual
+    # after adding; open a new bin only when no open bin admits the VM.
+    best: Optional[Bin] = None
+    best_residual = float("inf")
+    for candidate in bins:
+        if candidate.is_empty or not admissible(candidate):
+            continue
+        residual = candidate.residual()
+        if residual < best_residual:
+            best, best_residual = candidate, residual
+    if best is not None:
+        return best
+    for candidate in bins:
+        if candidate.is_empty and admissible(candidate):
+            return candidate
+    return None

@@ -1,0 +1,194 @@
+"""Local-search improvement over a greedy placement.
+
+FFD is the paper's representative placement heuristic, but production
+planners in the pMapper family follow greedy construction with a
+refinement pass: repeatedly try to *evacuate* the least-loaded host by
+re-fitting its VMs into the remaining hosts; every successful
+evacuation removes one host from the plan.  The pass is monotone (host
+count never increases), capacity-safe, and constraint-aware.
+
+This is deliberately the same move primitive dynamic consolidation uses
+to power hosts off between intervals — there it is gated by migration
+cost, here (plan-time, relocation during downtime) it is free.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.constraints.manager import ConstraintSet
+from repro.exceptions import ConfigurationError, PlacementError
+from repro.infrastructure.datacenter import Datacenter
+from repro.infrastructure.server import PhysicalServer
+from repro.infrastructure.vm import VMDemand
+from repro.placement.binpacking import Bin
+from repro.placement.plan import Placement
+
+__all__ = ["improve_placement"]
+
+
+def improve_placement(
+    placement: Placement,
+    demands: Sequence[VMDemand],
+    hosts: Sequence[PhysicalServer],
+    *,
+    utilization_bound: float = 1.0,
+    constraints: Optional[ConstraintSet] = None,
+    datacenter: Optional[Datacenter] = None,
+    max_rounds: int = 8,
+) -> Placement:
+    """Evacuate under-used hosts until no further host can be freed.
+
+    Parameters mirror :func:`repro.placement.binpacking.pack`; the input
+    placement must already be feasible at the given bound (it is rebuilt
+    into bins, which fails loudly otherwise).
+
+    Note: tail pooling makes per-VM feasibility order-dependent, so the
+    rebuild adds VMs largest-tail-first per host.
+    """
+    if max_rounds < 1:
+        raise ConfigurationError(f"max_rounds must be >= 1, got {max_rounds}")
+    if constraints and datacenter is None:
+        raise ConfigurationError(
+            "constraints require a datacenter for topology lookups"
+        )
+    demand_of = {d.vm_id: d for d in demands}
+    host_of = {h.host_id: h for h in hosts}
+    bins: Dict[str, Bin] = {}
+    assignment = dict(placement.assignment)
+    for host_id in placement.hosts_used:
+        host = host_of.get(host_id)
+        if host is None:
+            raise PlacementError(f"placement uses unknown host {host_id!r}")
+        bin_ = Bin.for_host(host, utilization_bound)
+        members = sorted(
+            placement.vms_on(host_id),
+            key=lambda v: demand_of[v].tail_cpu_rpe2,
+            reverse=True,
+        )
+        for vm_id in members:
+            bin_.add(demand_of[vm_id])
+        bins[host_id] = bin_
+
+    for _ in range(max_rounds):
+        if not _evacuate_one(bins, assignment, demand_of, constraints, datacenter):
+            break
+    if constraints and datacenter is not None:
+        constraints.validate(assignment, datacenter)
+    return Placement(assignment=assignment)
+
+
+def _evacuate_one(
+    bins: Dict[str, Bin],
+    assignment: Dict[str, str],
+    demand_of: Mapping[str, VMDemand],
+    constraints: Optional[ConstraintSet],
+    datacenter: Optional[Datacenter],
+) -> bool:
+    """Try to fully evacuate one host; True if a host was freed."""
+    active = [b for b in bins.values() if not b.is_empty]
+    if len(active) <= 1:
+        return False
+    # Emptiest hosts are the cheapest wins; try them in order.
+    for source in sorted(active, key=lambda b: (len(b.vm_ids), b.used_cpu)):
+        moves = _plan_evacuation(
+            source, active, assignment, demand_of, constraints, datacenter
+        )
+        if moves is None:
+            continue
+        for vm_id, target in moves:
+            target.add(demand_of[vm_id])
+            assignment[vm_id] = target.host.host_id
+        del bins[source.host.host_id]
+        return True
+    return False
+
+
+def _plan_evacuation(
+    source: Bin,
+    active: List[Bin],
+    assignment: Mapping[str, str],
+    demand_of: Mapping[str, VMDemand],
+    constraints: Optional[ConstraintSet],
+    datacenter: Optional[Datacenter],
+) -> "Optional[List[tuple]]":
+    """All-or-nothing move plan emptying ``source``, or None."""
+    moves: List[tuple] = []
+    pending: Dict[str, Dict[str, float]] = {}
+    shadow = dict(assignment)
+    candidates = sorted(
+        (b for b in active if b is not source),
+        key=lambda b: b.residual(),
+    )
+    for vm_id in sorted(
+        source.vm_ids, key=lambda v: demand_of[v].cpu_rpe2, reverse=True
+    ):
+        demand = demand_of[vm_id]
+        target = None
+        for candidate in candidates:
+            extra = pending.get(candidate.host.host_id)
+            if not _fits(candidate, demand, extra):
+                continue
+            if constraints and datacenter is not None:
+                if not constraints.feasible(
+                    vm_id, candidate.host, shadow, datacenter
+                ):
+                    continue
+            target = candidate
+            break
+        if target is None:
+            return None
+        moves.append((vm_id, target))
+        shadow[vm_id] = target.host.host_id
+        slot = pending.setdefault(
+            target.host.host_id,
+            {"cpu": 0.0, "memory": 0.0, "network": 0.0, "disk": 0.0,
+             "tail_cpu": 0.0, "tail_memory": 0.0},
+        )
+        slot["cpu"] += demand.cpu_rpe2
+        slot["memory"] += demand.memory_gb
+        slot["network"] += demand.network_mbps
+        slot["disk"] += demand.disk_mbps
+        slot["tail_cpu"] = max(slot["tail_cpu"], demand.tail_cpu_rpe2)
+        slot["tail_memory"] = max(slot["tail_memory"], demand.tail_memory_gb)
+    return moves
+
+
+def _fits(
+    candidate: Bin,
+    demand: VMDemand,
+    pending: "Optional[Dict[str, float]]",
+) -> bool:
+    """Fit check including this evacuation's earlier pending moves."""
+    if pending is None:
+        return candidate.fits(demand)
+    cpu_after = (
+        candidate.body_cpu
+        + pending["cpu"]
+        + demand.cpu_rpe2
+        + max(
+            candidate.max_tail_cpu,
+            pending["tail_cpu"],
+            demand.tail_cpu_rpe2,
+        )
+    )
+    memory_after = (
+        candidate.body_memory
+        + pending["memory"]
+        + demand.memory_gb
+        + max(
+            candidate.max_tail_memory,
+            pending["tail_memory"],
+            demand.tail_memory_gb,
+        )
+    )
+    network_after = (
+        candidate.body_network + pending["network"] + demand.network_mbps
+    )
+    disk_after = candidate.body_disk + pending["disk"] + demand.disk_mbps
+    return (
+        cpu_after <= candidate.cpu_capacity + 1e-9
+        and memory_after <= candidate.memory_capacity + 1e-9
+        and network_after <= candidate.network_capacity + 1e-9
+        and disk_after <= candidate.disk_capacity + 1e-9
+    )

@@ -1,0 +1,94 @@
+"""Placement data structures.
+
+A :class:`Placement` is the output of the Placement step (paper §2.1): a
+mapping from VM to physical host, plus the queries the experiments need —
+hosts used, VMs per host, and the migration delta between two placements
+(what dynamic consolidation's Execution step would have to carry out).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, Mapping, Tuple
+
+from repro.exceptions import PlacementError
+
+__all__ = ["Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """An immutable VM → host assignment."""
+
+    assignment: Mapping[str, str]
+    _vms_by_host: Mapping[str, Tuple[str, ...]] = field(
+        init=False, repr=False, compare=False, default=None  # type: ignore[assignment]
+    )
+
+    def __post_init__(self) -> None:
+        frozen = dict(self.assignment)
+        by_host: Dict[str, list] = {}
+        for vm_id, host_id in frozen.items():
+            if not vm_id or not host_id:
+                raise PlacementError(
+                    "placement entries must have non-empty vm and host ids"
+                )
+            by_host.setdefault(host_id, []).append(vm_id)
+        object.__setattr__(self, "assignment", frozen)
+        object.__setattr__(
+            self,
+            "_vms_by_host",
+            {host: tuple(vms) for host, vms in by_host.items()},
+        )
+
+    @classmethod
+    def empty(cls) -> "Placement":
+        return cls(assignment={})
+
+    def __len__(self) -> int:
+        return len(self.assignment)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.assignment)
+
+    def __contains__(self, vm_id: object) -> bool:
+        return vm_id in self.assignment
+
+    def host_of(self, vm_id: str) -> str:
+        try:
+            return self.assignment[vm_id]
+        except KeyError:
+            raise PlacementError(f"VM {vm_id!r} is not placed") from None
+
+    def vms_on(self, host_id: str) -> Tuple[str, ...]:
+        """VMs assigned to a host (empty tuple for an unused host)."""
+        return self._vms_by_host.get(host_id, ())
+
+    @property
+    def hosts_used(self) -> FrozenSet[str]:
+        return frozenset(self._vms_by_host)
+
+    @property
+    def active_host_count(self) -> int:
+        """Hosts with at least one VM — the paper's 'running servers'."""
+        return len(self._vms_by_host)
+
+    def migrations_from(self, previous: "Placement") -> FrozenSet[str]:
+        """VMs whose host differs from ``previous`` (new VMs excluded).
+
+        This is the work the Execution step must perform by live
+        migration when moving from one dynamic-consolidation interval to
+        the next.
+        """
+        return frozenset(
+            vm_id
+            for vm_id, host_id in self.assignment.items()
+            if vm_id in previous.assignment
+            and previous.assignment[vm_id] != host_id
+        )
+
+    def with_assignment(self, vm_id: str, host_id: str) -> "Placement":
+        """Functional update: a new placement with one extra/changed VM."""
+        updated = dict(self.assignment)
+        updated[vm_id] = host_id
+        return Placement(assignment=updated)

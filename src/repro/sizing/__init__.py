@@ -1,0 +1,35 @@
+"""Sizing: sizing functions, demand predictors, and size estimation."""
+
+from repro.sizing.estimator import SizeEstimator, VirtualizationOverhead
+from repro.sizing.network import DiskDemandModel, NetworkDemandModel
+from repro.sizing.functions import (
+    BodyTailSizing,
+    MaxSizing,
+    MeanSizing,
+    PercentileSizing,
+    SizingFunction,
+)
+from repro.sizing.prediction import (
+    EwmaPredictor,
+    LastIntervalPredictor,
+    OraclePredictor,
+    PeriodicPeakPredictor,
+    Predictor,
+)
+
+__all__ = [
+    "BodyTailSizing",
+    "DiskDemandModel",
+    "EwmaPredictor",
+    "LastIntervalPredictor",
+    "MaxSizing",
+    "MeanSizing",
+    "NetworkDemandModel",
+    "OraclePredictor",
+    "PercentileSizing",
+    "PeriodicPeakPredictor",
+    "Predictor",
+    "SizeEstimator",
+    "SizingFunction",
+    "VirtualizationOverhead",
+]

@@ -1,0 +1,170 @@
+"""Size estimation: from traces to placeable :class:`VMDemand` objects.
+
+The Size-Estimation step of the consolidation flow (paper §2.1) applies a
+sizing function to each VM's demand window and adjusts for the
+virtualization platform:
+
+* **CPU overhead** — a virtualized workload needs slightly more CPU than
+  it did on bare metal (hypervisor scheduling, I/O virtualization); the
+  paper's emulator "captures the impact of virtualization overhead ... in
+  a configurable fashion".
+* **Per-VM memory overhead** — hypervisor bookkeeping per VM.
+* **Memory deduplication** — content-based page sharing reduces the
+  memory that must be reserved (configurable; defaults to off because
+  the paper's candidates are Windows physical servers whose monitored
+  memory reflects real demand).
+
+:class:`SizeEstimator` produces body-only demands; with a
+:class:`~repro.sizing.functions.BodyTailSizing` it fills the tail fields
+used by stochastic (PCP) placement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+
+from typing import Optional
+
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.vm import VMDemand
+from repro.sizing.functions import BodyTailSizing, MaxSizing, SizingFunction
+from repro.sizing.network import DiskDemandModel, NetworkDemandModel
+from repro.workloads.trace import ServerTrace, TraceSet
+
+__all__ = ["VirtualizationOverhead", "SizeEstimator"]
+
+
+@dataclass(frozen=True)
+class VirtualizationOverhead:
+    """Platform overhead and dedup parameters applied during sizing."""
+
+    cpu_overhead_frac: float = 0.10
+    memory_overhead_gb: float = 0.125
+    dedup_savings_frac: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.cpu_overhead_frac < 0:
+            raise ConfigurationError(
+                f"cpu_overhead_frac must be >= 0, got {self.cpu_overhead_frac}"
+            )
+        if self.memory_overhead_gb < 0:
+            raise ConfigurationError(
+                f"memory_overhead_gb must be >= 0, got "
+                f"{self.memory_overhead_gb}"
+            )
+        if not 0 <= self.dedup_savings_frac < 1:
+            raise ConfigurationError(
+                f"dedup_savings_frac must be in [0, 1), got "
+                f"{self.dedup_savings_frac}"
+            )
+
+    def adjust_cpu(self, cpu_rpe2: float) -> float:
+        """Inflate CPU demand by the hypervisor overhead."""
+        return cpu_rpe2 * (1.0 + self.cpu_overhead_frac)
+
+    def adjust_memory(self, memory_gb: float) -> float:
+        """Apply dedup savings, then add the per-VM fixed overhead."""
+        return memory_gb * (1.0 - self.dedup_savings_frac) + (
+            self.memory_overhead_gb
+        )
+
+
+@dataclass(frozen=True)
+class SizeEstimator:
+    """Turns demand windows into :class:`VMDemand` reservations."""
+
+    sizing: SizingFunction = field(default_factory=MaxSizing)
+    overhead: VirtualizationOverhead = field(
+        default_factory=VirtualizationOverhead
+    )
+    #: Optional I/O models; when set, every sized demand also carries a
+    #: network / disk reservation (placement constraints, §3.1).
+    network: Optional[NetworkDemandModel] = None
+    disk: Optional[DiskDemandModel] = None
+
+    def _network_for(self, workload_class: str, sized_cpu: float) -> float:
+        if self.network is None:
+            return 0.0
+        return self.network.demand_mbps(workload_class, sized_cpu)
+
+    def _disk_for(self, workload_class: str, sized_cpu: float) -> float:
+        if self.disk is None:
+            return 0.0
+        return self.disk.demand_mbps(workload_class, sized_cpu)
+
+    def estimate(self, trace: ServerTrace) -> VMDemand:
+        """Size one VM over its (already windowed) trace."""
+        cpu_window = trace.cpu_rpe2
+        memory_window = trace.memory_gb.values
+        if isinstance(self.sizing, BodyTailSizing):
+            cpu_body, cpu_tail = self.sizing.split(cpu_window)
+            memory_body, memory_tail = self.sizing.split(memory_window)
+            adjusted_body = self.overhead.adjust_cpu(cpu_body)
+            adjusted_tail = self.overhead.adjust_cpu(cpu_tail)
+            return VMDemand(
+                vm_id=trace.vm_id,
+                cpu_rpe2=adjusted_body,
+                memory_gb=self.overhead.adjust_memory(memory_body),
+                tail_cpu_rpe2=adjusted_tail,
+                # The fixed per-VM overhead is already counted in the body.
+                tail_memory_gb=memory_tail
+                * (1.0 - self.overhead.dedup_savings_frac),
+                network_mbps=self._network_for(
+                    trace.vm.workload_class, adjusted_body + adjusted_tail
+                ),
+                disk_mbps=self._disk_for(
+                    trace.vm.workload_class, adjusted_body + adjusted_tail
+                ),
+            )
+        adjusted_cpu = self.overhead.adjust_cpu(self.sizing.size(cpu_window))
+        return VMDemand(
+            vm_id=trace.vm_id,
+            cpu_rpe2=adjusted_cpu,
+            memory_gb=self.overhead.adjust_memory(
+                self.sizing.size(memory_window)
+            ),
+            network_mbps=self._network_for(
+                trace.vm.workload_class, adjusted_cpu
+            ),
+            disk_mbps=self._disk_for(
+                trace.vm.workload_class, adjusted_cpu
+            ),
+        )
+
+    def estimate_all(self, trace_set: TraceSet) -> List[VMDemand]:
+        """Size every VM in a trace set (kept in trace-set order)."""
+        return [self.estimate(trace) for trace in trace_set]
+
+    def estimate_from_values(
+        self,
+        vm_id: str,
+        cpu_rpe2: float,
+        memory_gb: float,
+        workload_class: Optional[str] = None,
+    ) -> VMDemand:
+        """Size from already-predicted scalars (dynamic consolidation).
+
+        Dynamic consolidation predicts a peak per interval before sizing;
+        by the time it reaches the estimator the window is a single value
+        per resource.  Pass ``workload_class`` to include the network
+        reservation when a network model is configured.
+        """
+        if cpu_rpe2 < 0 or memory_gb < 0:
+            raise ConfigurationError(
+                f"{vm_id}: predicted demand must be >= 0"
+            )
+        adjusted_cpu = self.overhead.adjust_cpu(cpu_rpe2)
+        network = 0.0
+        disk = 0.0
+        if workload_class is not None:
+            network = self._network_for(workload_class, adjusted_cpu)
+            disk = self._disk_for(workload_class, adjusted_cpu)
+        return VMDemand(
+            vm_id=vm_id,
+            cpu_rpe2=adjusted_cpu,
+            memory_gb=self.overhead.adjust_memory(memory_gb),
+            network_mbps=network,
+            disk_mbps=disk,
+        )

@@ -1,0 +1,229 @@
+"""Demand predictors for dynamic consolidation (paper §2.1, *Prediction*).
+
+Dynamic consolidation sizes each VM at "the estimated peak demand in the
+consolidation window" (§5.1) — *estimated*, because the window lies in
+the future.  Prediction error is the mechanism behind the paper's
+contention results (Figs. 8, 9): a spike that the predictor did not see
+coming lands on a tightly packed host.
+
+All predictors implement :class:`Predictor`: given the demand history up
+to now, predict the peak demand of the next ``horizon`` samples.
+
+* :class:`OraclePredictor` — cheats by looking at the actual future;
+  isolates packing effects from prediction effects in ablations.
+* :class:`LastIntervalPredictor` — peak of the most recent interval.
+* :class:`EwmaPredictor` — EWMA of past interval peaks.
+* :class:`PeriodicPeakPredictor` — the default: max over the same
+  time-of-day in the last few days plus a safety margin; tracks diurnal
+  patterns well, misses heavy-tail spikes — exactly the error profile
+  enterprise capacity tools exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, TraceError
+
+__all__ = [
+    "Predictor",
+    "OraclePredictor",
+    "LastIntervalPredictor",
+    "EwmaPredictor",
+    "PeriodicPeakPredictor",
+]
+
+
+def _check_history(history: np.ndarray) -> np.ndarray:
+    history = np.asarray(history, dtype=float)
+    if history.ndim != 1 or history.size == 0:
+        raise TraceError("predictor needs a non-empty 1-D history")
+    return history
+
+
+@runtime_checkable
+class Predictor(Protocol):
+    """Predicts the peak demand of the next ``horizon`` samples."""
+
+    def predict_peak(
+        self,
+        history: np.ndarray,
+        horizon: int,
+        actual_future: Optional[np.ndarray] = None,
+    ) -> float:
+        """Return the predicted peak for the next ``horizon`` samples.
+
+        ``actual_future`` is only consulted by oracle-style predictors;
+        honest predictors must ignore it.
+        """
+        ...
+
+
+@dataclass(frozen=True)
+class OraclePredictor:
+    """Perfect foresight: returns the actual future peak.
+
+    Requires ``actual_future``; used to separate "dynamic consolidation
+    with perfect prediction" from "dynamic consolidation as deployable".
+    """
+
+    def predict_peak(
+        self,
+        history: np.ndarray,
+        horizon: int,
+        actual_future: Optional[np.ndarray] = None,
+    ) -> float:
+        _check_history(history)
+        if actual_future is None:
+            raise ConfigurationError(
+                "OraclePredictor needs the actual future demand"
+            )
+        future = np.asarray(actual_future, dtype=float)
+        if future.size < horizon:
+            raise TraceError(
+                f"actual future has {future.size} samples, need {horizon}"
+            )
+        return float(future[:horizon].max())
+
+
+@dataclass(frozen=True)
+class LastIntervalPredictor:
+    """Peak of the most recent ``horizon`` samples (naive persistence)."""
+
+    def predict_peak(
+        self,
+        history: np.ndarray,
+        horizon: int,
+        actual_future: Optional[np.ndarray] = None,
+    ) -> float:
+        history = _check_history(history)
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be > 0, got {horizon}")
+        return float(history[-min(horizon, history.size):].max())
+
+
+@dataclass(frozen=True)
+class EwmaPredictor:
+    """EWMA over past interval peaks.
+
+    The history is chopped into ``horizon``-sized intervals (most recent
+    last); their peaks are smoothed with factor ``alpha``.  Responds to
+    trends faster than :class:`PeriodicPeakPredictor` but has no notion
+    of time-of-day.
+    """
+
+    alpha: float = 0.3
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alpha <= 1:
+            raise ConfigurationError(
+                f"alpha must be in (0, 1], got {self.alpha}"
+            )
+
+    def predict_peak(
+        self,
+        history: np.ndarray,
+        horizon: int,
+        actual_future: Optional[np.ndarray] = None,
+    ) -> float:
+        history = _check_history(history)
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be > 0, got {horizon}")
+        usable = (history.size // horizon) * horizon
+        if usable == 0:
+            return float(history.max())
+        peaks = history[-usable:].reshape(-1, horizon).max(axis=1)
+        estimate = peaks[0]
+        for peak in peaks[1:]:
+            estimate = self.alpha * peak + (1 - self.alpha) * estimate
+        return float(estimate)
+
+
+@dataclass(frozen=True)
+class PeriodicPeakPredictor:
+    """Same-time-of-day peak over recent days, with a safety margin.
+
+    The prediction for the next interval is the maximum demand observed
+    during the same interval of the day over the last ``lookback_days``
+    days, inflated by ``safety_margin``.  A recency floor (the last
+    ``horizon`` samples) protects against a workload that just shifted
+    to a new level the daily history has not caught up with.
+    """
+
+    period: int = 24
+    lookback_days: int = 7
+    safety_margin: float = 0.10
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise ConfigurationError(f"period must be > 0, got {self.period}")
+        if self.lookback_days <= 0:
+            raise ConfigurationError(
+                f"lookback_days must be > 0, got {self.lookback_days}"
+            )
+        if self.safety_margin < 0:
+            raise ConfigurationError(
+                f"safety_margin must be >= 0, got {self.safety_margin}"
+            )
+
+    def predict_peak(
+        self,
+        history: np.ndarray,
+        horizon: int,
+        actual_future: Optional[np.ndarray] = None,
+    ) -> float:
+        history = _check_history(history)
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be > 0, got {horizon}")
+        n = history.size
+        samples = []
+        # The next interval covers phases [n, n + horizon) mod period.
+        for day in range(1, self.lookback_days + 1):
+            start = n - day * self.period
+            if start < 0:
+                break
+            end = min(start + horizon, n)
+            samples.append(history[start:end])
+        if samples:
+            periodic_peak = max(float(s.max()) for s in samples if s.size)
+        else:
+            periodic_peak = float(history.max())
+        recent_peak = float(history[-min(horizon, n):].max())
+        return max(periodic_peak, recent_peak) * (1.0 + self.safety_margin)
+
+    def predict_peak_matrix(
+        self,
+        history: np.ndarray,
+        horizon: int,
+        actual_future: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`predict_peak` over (n_vms, n_points) history.
+
+        Semantically identical to looping ``predict_peak`` per row;
+        used by dynamic consolidation, where the per-interval prediction
+        of every VM is the planning hot path.
+        """
+        history = np.asarray(history, dtype=float)
+        if history.ndim != 2 or history.shape[1] == 0:
+            raise TraceError("predict_peak_matrix expects (n, t>0) history")
+        if horizon <= 0:
+            raise ConfigurationError(f"horizon must be > 0, got {horizon}")
+        n = history.shape[1]
+        peaks = history[:, -min(horizon, n):].max(axis=1)  # recency floor
+        saw_periodic = False
+        for day in range(1, self.lookback_days + 1):
+            start = n - day * self.period
+            if start < 0:
+                break
+            end = min(start + horizon, n)
+            if end > start:
+                saw_periodic = True
+                peaks = np.maximum(
+                    peaks, history[:, start:end].max(axis=1)
+                )
+        if not saw_periodic:
+            peaks = np.maximum(peaks, history.max(axis=1))
+        return peaks * (1.0 + self.safety_margin)

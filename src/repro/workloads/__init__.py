@@ -1,0 +1,69 @@
+"""Workload traces: data structures, generators, and datacenter presets."""
+
+from repro.workloads.appmodel import OLIO_MODEL, AppResourceModel
+from repro.workloads.datacenters import (
+    ALL_DATACENTERS,
+    BANKING,
+    BEVERAGE,
+    AIRLINES,
+    NATURAL_RESOURCES,
+    STUDY_DAYS,
+    ClassGroup,
+    DatacenterConfig,
+    generate_datacenter,
+    get_datacenter_config,
+)
+from repro.workloads.generator import (
+    IDLE,
+    SCHEDULED_BATCH,
+    STEADY_BATCH,
+    WEB_BURSTY,
+    WEB_MODERATE,
+    CorrelationModel,
+    CpuModel,
+    MemoryModel,
+    ScheduledJobSpec,
+    WorkloadClassProfile,
+    generate_server_trace,
+    generate_trace_set,
+)
+from repro.workloads.io import load_trace_set, save_trace_set
+from repro.workloads.trace import (
+    HOURS_PER_DAY,
+    ResourceTrace,
+    ServerTrace,
+    TraceSet,
+)
+
+__all__ = [
+    "ALL_DATACENTERS",
+    "AIRLINES",
+    "AppResourceModel",
+    "BANKING",
+    "BEVERAGE",
+    "ClassGroup",
+    "CorrelationModel",
+    "CpuModel",
+    "DatacenterConfig",
+    "HOURS_PER_DAY",
+    "IDLE",
+    "MemoryModel",
+    "NATURAL_RESOURCES",
+    "OLIO_MODEL",
+    "ResourceTrace",
+    "SCHEDULED_BATCH",
+    "STEADY_BATCH",
+    "STUDY_DAYS",
+    "ScheduledJobSpec",
+    "ServerTrace",
+    "TraceSet",
+    "WEB_BURSTY",
+    "WEB_MODERATE",
+    "WorkloadClassProfile",
+    "generate_datacenter",
+    "generate_server_trace",
+    "generate_trace_set",
+    "get_datacenter_config",
+    "load_trace_set",
+    "save_trace_set",
+]

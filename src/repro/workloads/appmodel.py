@@ -1,0 +1,115 @@
+"""Application resource-scaling model (the paper's Olio aside, §4.1).
+
+The paper explains the low burstiness of memory with a benchmark
+experiment: driving the Olio web benchmark from 10 to 60 operations/sec
+(6× throughput) increased CPU demand from 0.18 to 1.42 cores (7.9×) but
+memory by only 3×.  CPU scales super-linearly with throughput (context
+switching, cache pressure) while memory scales sub-linearly (shared
+buffers, connection pools amortize).
+
+We model both as power laws anchored at a reference throughput:
+
+    cpu(t)    = cpu_ref    * (t / t_ref) ** cpu_exponent
+    memory(t) = memory_ref * (t / t_ref) ** memory_exponent
+
+With the default exponents the model reproduces the quoted 7.9× / 3×
+factors over a 6× throughput range; the memory exponent (~0.61) is the
+same sub-linear exponent the trace generators use to derive memory
+traces from CPU traces, tying the generator design back to the paper's
+own evidence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["AppResourceModel", "OLIO_MODEL"]
+
+
+@dataclass(frozen=True)
+class AppResourceModel:
+    """Power-law throughput → (CPU, memory) demand model."""
+
+    name: str
+    reference_throughput: float
+    cpu_cores_at_reference: float
+    memory_gb_at_reference: float
+    cpu_exponent: float
+    memory_exponent: float
+
+    def __post_init__(self) -> None:
+        if self.reference_throughput <= 0:
+            raise ConfigurationError("reference_throughput must be > 0")
+        if self.cpu_cores_at_reference <= 0 or self.memory_gb_at_reference <= 0:
+            raise ConfigurationError("reference demands must be > 0")
+        if self.cpu_exponent <= 0 or self.memory_exponent <= 0:
+            raise ConfigurationError("exponents must be > 0")
+
+    def cpu_cores(self, throughput: float) -> float:
+        """CPU demand in cores at the given throughput."""
+        self._check_throughput(throughput)
+        ratio = throughput / self.reference_throughput
+        return self.cpu_cores_at_reference * ratio**self.cpu_exponent
+
+    def memory_gb(self, throughput: float) -> float:
+        """Memory demand in GB at the given throughput."""
+        self._check_throughput(throughput)
+        ratio = throughput / self.reference_throughput
+        return self.memory_gb_at_reference * ratio**self.memory_exponent
+
+    def scaling_factors(
+        self, low_throughput: float, high_throughput: float
+    ) -> Tuple[float, float, float]:
+        """(throughput×, CPU×, memory×) between two operating points.
+
+        For the Olio defaults, ``scaling_factors(10, 60)`` returns
+        approximately ``(6.0, 7.9, 3.0)`` — the paper's quoted numbers.
+        """
+        self._check_throughput(low_throughput)
+        self._check_throughput(high_throughput)
+        if high_throughput < low_throughput:
+            raise ConfigurationError(
+                "high_throughput must be >= low_throughput"
+            )
+        throughput_factor = high_throughput / low_throughput
+        return (
+            throughput_factor,
+            self.cpu_cores(high_throughput) / self.cpu_cores(low_throughput),
+            self.memory_gb(high_throughput) / self.memory_gb(low_throughput),
+        )
+
+    def sweep(
+        self, throughputs: Sequence[float]
+    ) -> Tuple[Tuple[float, float, float], ...]:
+        """(throughput, cpu_cores, memory_gb) rows for a report table."""
+        return tuple(
+            (t, self.cpu_cores(t), self.memory_gb(t)) for t in throughputs
+        )
+
+    @staticmethod
+    def _check_throughput(throughput: float) -> None:
+        if throughput <= 0:
+            raise ConfigurationError(
+                f"throughput must be > 0, got {throughput}"
+            )
+
+
+def _exponent(factor: float, range_factor: float) -> float:
+    """Solve ``range_factor ** e == factor`` for e."""
+    return math.log(factor) / math.log(range_factor)
+
+
+#: The paper's measurement: Olio on a Xeon dual-core, 10 → 60 ops/sec gave
+#: CPU 0.18 → 1.42 cores (7.9×) and memory 3× — exponents fitted exactly.
+OLIO_MODEL = AppResourceModel(
+    name="olio",
+    reference_throughput=10.0,
+    cpu_cores_at_reference=0.18,
+    memory_gb_at_reference=0.55,
+    cpu_exponent=_exponent(1.42 / 0.18, 6.0),
+    memory_exponent=_exponent(3.0, 6.0),
+)

@@ -1,0 +1,603 @@
+"""Synthetic server trace generation.
+
+The paper's traces are proprietary (30-day hourly monitoring of >3000
+production Windows servers).  This module generates statistically
+equivalent traces: each server draws a *workload class profile* (web,
+steady batch, scheduled batch, idle) that controls its CPU burstiness
+model and its memory-follows-load model.  The four datacenter presets in
+:mod:`repro.workloads.datacenters` are mixtures of these classes tuned to
+reproduce the paper's Section-4 measurements.
+
+CPU generation pipeline (per server):
+
+1. deterministic shape: diurnal bump × weekend dip,
+2. multiplicative stochastic texture: i.i.d. lognormal × exp(AR(1)),
+3. rescale to the server's target mean utilization,
+4. additive scheduled-batch windows and Pareto spikes,
+5. clip to [floor, 1.0] (a source server cannot exceed its own capacity).
+
+Memory generation: committed memory = configured × (base + dynamic ×
+smoothed(load^exponent)) with small multiplicative noise — the sub-linear
+exponent and smoothing are what make memory an order of magnitude less
+bursty than CPU (Observation 2; validated against the paper's Olio
+anecdote by :mod:`repro.workloads.appmodel`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.server import ServerSpec
+from repro.infrastructure.vm import VirtualMachine, WorkloadClass
+from repro.metrics.catalog import ServerModel
+from repro.workloads import models
+from repro.workloads.trace import ResourceTrace, ServerTrace, TraceSet
+
+__all__ = [
+    "ScheduledJobSpec",
+    "CpuModel",
+    "MemoryModel",
+    "CorrelationModel",
+    "WorkloadClassProfile",
+    "generate_server_trace",
+    "generate_trace_set",
+    "WEB_BURSTY",
+    "WEB_MODERATE",
+    "STEADY_BATCH",
+    "SCHEDULED_BATCH",
+    "IDLE",
+]
+
+_UTIL_FLOOR = 0.002
+
+
+@dataclass(frozen=True)
+class CorrelationModel:
+    """Cross-server demand correlation within a datacenter.
+
+    Two mechanisms make enterprise workloads peak *together* (and thereby
+    limit the statistical-multiplexing gains stochastic consolidation can
+    bank on — the stability of correlation is Observation 5's stated
+    reason why PCP works, and correlated bursts are what put dynamic
+    consolidation at contention risk):
+
+    * a shared mean-one AR(1) *business factor* multiplying every
+      server's load (market open, month-end, campaign traffic), and
+    * *flash events*: Poisson-arriving episodes during which a random
+      subset of servers simultaneously multiply their demand.
+
+    Each workload class scales its exposure via
+    ``WorkloadClassProfile.correlation_sensitivity`` — front-end web
+    servers ride every market event; back-office batch barely notices.
+    """
+
+    ar1_phi: float = 0.85
+    ar1_sigma: float = 0.15
+    event_rate_per_day: float = 0.5
+    event_participation: float = 0.35
+    event_magnitude_scale: float = 1.5
+    event_alpha: float = 1.8
+    event_max_multiplier: float = 8.0
+    event_max_duration_hours: int = 3
+
+    def __post_init__(self) -> None:
+        if not -1.0 < self.ar1_phi < 1.0:
+            raise ConfigurationError("ar1_phi must be in (-1, 1)")
+        if self.ar1_sigma < 0:
+            raise ConfigurationError("ar1_sigma must be >= 0")
+        if self.event_rate_per_day < 0:
+            raise ConfigurationError("event_rate_per_day must be >= 0")
+        if not 0 <= self.event_participation <= 1:
+            raise ConfigurationError(
+                "event_participation must be in [0, 1]"
+            )
+        if self.event_magnitude_scale < 0:
+            raise ConfigurationError("event_magnitude_scale must be >= 0")
+        if self.event_alpha <= 0:
+            raise ConfigurationError("event_alpha must be > 0")
+        if self.event_max_multiplier < 1:
+            raise ConfigurationError("event_max_multiplier must be >= 1")
+        if self.event_max_duration_hours < 1:
+            raise ConfigurationError(
+                "event_max_duration_hours must be >= 1"
+            )
+
+    def draw_shared_log_factor(
+        self, n_hours: int, rng: np.random.Generator
+    ) -> np.ndarray:
+        """The shared AR(1) log-factor all servers are exposed to."""
+        return models.ar1_noise(n_hours, self.ar1_phi, self.ar1_sigma, rng)
+
+    def draw_events(
+        self, n_hours: int, rng: np.random.Generator
+    ) -> "list[tuple[int, int, float]]":
+        """Flash events as ``(start_hour, duration, extra_multiplier)``."""
+        n_events = rng.poisson(self.event_rate_per_day * n_hours / 24.0)
+        events = []
+        for _ in range(n_events):
+            start = int(rng.integers(0, n_hours))
+            duration = int(
+                rng.integers(1, self.event_max_duration_hours + 1)
+            )
+            magnitude = min(
+                self.event_magnitude_scale * rng.pareto(self.event_alpha),
+                self.event_max_multiplier - 1.0,
+            )
+            events.append((start, duration, magnitude))
+        return events
+
+
+@dataclass(frozen=True)
+class ScheduledJobSpec:
+    """Periodic batch job parameters (see :func:`models.scheduled_jobs`)."""
+
+    period_hours: int = 24
+    start_hour: int = 2
+    duration_hours: int = 2
+    level: float = 0.4
+    jitter_hours: int = 1
+
+
+@dataclass(frozen=True)
+class CpuModel:
+    """CPU burstiness model for one workload class."""
+
+    diurnal_amplitude: float = 1.0
+    diurnal_width_hours: float = 4.0
+    weekend_factor: float = 0.6
+    lognormal_sigma: float = 0.5
+    ar1_phi: float = 0.7
+    ar1_sigma: float = 0.2
+    spike_rate_per_hour: float = 0.0
+    spike_alpha: float = 1.6
+    spike_scale: float = 0.15
+    spike_max: float = 0.9
+    scheduled: Optional[ScheduledJobSpec] = None
+
+    def __post_init__(self) -> None:
+        if self.lognormal_sigma < 0 or self.ar1_sigma < 0:
+            raise ConfigurationError("noise sigmas must be >= 0")
+        if self.spike_rate_per_hour < 0:
+            raise ConfigurationError("spike_rate_per_hour must be >= 0")
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Committed-memory model for one workload class.
+
+    ``committed = configured × (base_frac + dynamic_frac × f(load))`` with
+    ``f(load) = ewma(load_normalized ** load_exponent)``.
+    """
+
+    base_frac: float = 0.30
+    dynamic_frac: float = 0.20
+    load_exponent: float = 0.6
+    smoothing_alpha: float = 0.3
+    noise_sigma: float = 0.03
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.base_frac <= 1:
+            raise ConfigurationError(
+                f"base_frac must be in [0, 1], got {self.base_frac}"
+            )
+        if self.dynamic_frac < 0 or self.base_frac + self.dynamic_frac > 1.0:
+            raise ConfigurationError(
+                "need 0 <= base_frac + dynamic_frac <= 1, got "
+                f"{self.base_frac} + {self.dynamic_frac}"
+            )
+        if self.load_exponent <= 0:
+            raise ConfigurationError(
+                f"load_exponent must be > 0, got {self.load_exponent}"
+            )
+        if not 0 < self.smoothing_alpha <= 1:
+            raise ConfigurationError(
+                f"smoothing_alpha must be in (0, 1], got {self.smoothing_alpha}"
+            )
+
+
+@dataclass(frozen=True)
+class WorkloadClassProfile:
+    """A named workload class: CPU + memory models and metadata."""
+
+    name: str
+    workload_class: str
+    mean_util: float
+    cpu: CpuModel = field(default_factory=CpuModel)
+    memory: MemoryModel = field(default_factory=MemoryModel)
+    #: Exposure to the datacenter's :class:`CorrelationModel` (0 = immune,
+    #: 1 = full exposure).  Front-end web is high; batch is low.
+    correlation_sensitivity: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.mean_util <= 1:
+            raise ConfigurationError(
+                f"{self.name}: mean_util must be in (0, 1], got {self.mean_util}"
+            )
+        if not 0 <= self.correlation_sensitivity <= 1:
+            raise ConfigurationError(
+                f"{self.name}: correlation_sensitivity must be in [0, 1]"
+            )
+        WorkloadClass.top_level(self.workload_class)
+
+    def with_mean_util(self, mean_util: float) -> "WorkloadClassProfile":
+        """Copy of this profile at a different target mean utilization."""
+        return replace(self, mean_util=mean_util)
+
+
+#: Heavy-tailed interactive web workload (Banking-style): CoV >= 1,
+#: peak-to-average often above 5-10 at short consolidation intervals.
+WEB_BURSTY = WorkloadClassProfile(
+    name="web-bursty",
+    workload_class=WorkloadClass.WEB_INTERACTIVE,
+    mean_util=0.05,
+    cpu=CpuModel(
+        diurnal_amplitude=1.8,
+        weekend_factor=0.5,
+        lognormal_sigma=0.55,
+        ar1_phi=0.6,
+        ar1_sigma=0.20,
+        spike_rate_per_hour=0.007,
+        spike_alpha=1.5,
+        spike_scale=0.10,
+        spike_max=0.85,
+    ),
+    memory=MemoryModel(
+        base_frac=0.22,
+        dynamic_frac=0.28,
+        load_exponent=0.6,
+        smoothing_alpha=0.25,
+        noise_sigma=0.04,
+    ),
+)
+
+#: Moderately bursty web workload (Airlines/Beverage-style front ends).
+WEB_MODERATE = WorkloadClassProfile(
+    name="web-moderate",
+    workload_class=WorkloadClass.WEB_INTERACTIVE,
+    mean_util=0.04,
+    correlation_sensitivity=0.7,
+    cpu=CpuModel(
+        diurnal_amplitude=1.0,
+        weekend_factor=0.6,
+        lognormal_sigma=0.50,
+        ar1_phi=0.7,
+        ar1_sigma=0.20,
+        spike_rate_per_hour=0.005,
+        spike_alpha=1.8,
+        spike_scale=0.08,
+        spike_max=0.6,
+    ),
+    memory=MemoryModel(
+        base_frac=0.35,
+        dynamic_frac=0.15,
+        load_exponent=0.6,
+        smoothing_alpha=0.2,
+        noise_sigma=0.03,
+    ),
+)
+
+#: Long-running compute/analytics (Natural-Resources-style): sustained
+#: load, CoV well below 1.
+STEADY_BATCH = WorkloadClassProfile(
+    name="steady-batch",
+    workload_class=WorkloadClass.STEADY_BATCH,
+    mean_util=0.12,
+    correlation_sensitivity=0.25,
+    cpu=CpuModel(
+        diurnal_amplitude=0.3,
+        weekend_factor=0.9,
+        lognormal_sigma=0.25,
+        ar1_phi=0.85,
+        ar1_sigma=0.12,
+        spike_rate_per_hour=0.001,
+        spike_alpha=2.0,
+        spike_scale=0.1,
+        spike_max=0.5,
+    ),
+    memory=MemoryModel(
+        base_frac=0.45,
+        dynamic_frac=0.15,
+        load_exponent=0.7,
+        smoothing_alpha=0.15,
+        noise_sigma=0.02,
+    ),
+)
+
+#: Nightly/weekly scheduled jobs: predictable high peaks over a quiet base.
+SCHEDULED_BATCH = WorkloadClassProfile(
+    name="scheduled-batch",
+    workload_class=WorkloadClass.SCHEDULED_BATCH,
+    mean_util=0.05,
+    correlation_sensitivity=0.3,
+    cpu=CpuModel(
+        diurnal_amplitude=0.2,
+        weekend_factor=0.8,
+        lognormal_sigma=0.35,
+        ar1_phi=0.7,
+        ar1_sigma=0.15,
+        scheduled=ScheduledJobSpec(
+            period_hours=24,
+            start_hour=2,
+            duration_hours=2,
+            level=0.35,
+            jitter_hours=1,
+        ),
+    ),
+    memory=MemoryModel(
+        base_frac=0.30,
+        dynamic_frac=0.20,
+        load_exponent=0.8,
+        smoothing_alpha=0.35,
+        noise_sigma=0.03,
+    ),
+)
+
+#: Near-idle servers (common in the Airlines datacenter at 1% mean CPU).
+IDLE = WorkloadClassProfile(
+    name="idle",
+    workload_class=WorkloadClass.IDLE,
+    mean_util=0.006,
+    correlation_sensitivity=0.4,
+    cpu=CpuModel(
+        diurnal_amplitude=0.4,
+        weekend_factor=0.9,
+        lognormal_sigma=0.40,
+        ar1_phi=0.6,
+        ar1_sigma=0.18,
+        spike_rate_per_hour=0.0015,
+        spike_alpha=2.0,
+        spike_scale=0.03,
+        spike_max=0.25,
+    ),
+    memory=MemoryModel(
+        base_frac=0.40,
+        dynamic_frac=0.08,
+        load_exponent=0.8,
+        smoothing_alpha=0.2,
+        noise_sigma=0.02,
+    ),
+)
+
+
+def _generate_cpu_util(
+    profile: WorkloadClassProfile,
+    mean_util: float,
+    n_hours: int,
+    rng: np.random.Generator,
+    shared_log_factor: Optional[np.ndarray] = None,
+    event_multiplier: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Generate one server's CPU utilization trace (fractions in [0, 1])."""
+    cpu = profile.cpu
+    peak_hour = float(rng.uniform(9.0, 18.0))
+    shape = models.diurnal_profile(
+        n_hours,
+        peak_hour=peak_hour,
+        amplitude=cpu.diurnal_amplitude,
+        width_hours=cpu.diurnal_width_hours,
+    )
+    shape = shape * models.weekly_profile(
+        n_hours, weekend_factor=cpu.weekend_factor
+    )
+    shape = shape * models.lognormal_noise(n_hours, cpu.lognormal_sigma, rng)
+    shape = shape * np.exp(models.ar1_noise(n_hours, cpu.ar1_phi, cpu.ar1_sigma, rng))
+    if shared_log_factor is not None:
+        shape = shape * np.exp(
+            profile.correlation_sensitivity * shared_log_factor
+        )
+    util = mean_util * shape / shape.mean()
+    if cpu.scheduled is not None:
+        job = cpu.scheduled
+        util = util + models.scheduled_jobs(
+            n_hours,
+            period_hours=job.period_hours,
+            start_hour=int(rng.integers(0, job.period_hours)),
+            duration_hours=job.duration_hours,
+            level=job.level * float(rng.uniform(0.7, 1.3)),
+            jitter_hours=job.jitter_hours,
+            rng=rng,
+        )
+    if cpu.spike_rate_per_hour > 0:
+        util = util + models.pareto_spikes(
+            n_hours,
+            rate_per_hour=cpu.spike_rate_per_hour,
+            alpha=cpu.spike_alpha,
+            scale=cpu.spike_scale,
+            max_spike=cpu.spike_max,
+            rng=rng,
+        )
+    if event_multiplier is not None:
+        # Flash events multiply actual load: applied after the mean is
+        # anchored, so correlated peaks add genuine demand on top.
+        util = util * event_multiplier
+    return np.clip(util, _UTIL_FLOOR, 1.0)
+
+
+def _generate_memory_gb(
+    profile: WorkloadClassProfile,
+    cpu_util: np.ndarray,
+    configured_gb: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Generate the committed-memory trace that tracks a CPU trace."""
+    mem = profile.memory
+    load_peak = max(float(cpu_util.max()), 1e-9)
+    normalized_load = (cpu_util / load_peak) ** mem.load_exponent
+    driver = models.ewma_smooth(normalized_load, mem.smoothing_alpha)
+    committed_frac = mem.base_frac + mem.dynamic_frac * driver
+    if mem.noise_sigma > 0:
+        committed_frac = committed_frac * models.lognormal_noise(
+            cpu_util.size, mem.noise_sigma, rng
+        )
+    committed = configured_gb * committed_frac
+    return np.clip(committed, 0.01 * configured_gb, configured_gb)
+
+
+def generate_server_trace(
+    vm_id: str,
+    profile: WorkloadClassProfile,
+    source_model: ServerModel,
+    n_hours: int,
+    rng: np.random.Generator,
+    *,
+    mean_util: Optional[float] = None,
+    labels: Optional[dict] = None,
+    shared_log_factor: Optional[np.ndarray] = None,
+    event_multiplier: Optional[np.ndarray] = None,
+) -> ServerTrace:
+    """Generate a full :class:`ServerTrace` for one source server.
+
+    Parameters
+    ----------
+    vm_id:
+        Identifier for the resulting VM.
+    profile:
+        Workload class profile controlling the statistical models.
+    source_model:
+        Hardware of the source physical server; bounds utilization and
+        sets the configured memory.
+    n_hours:
+        Trace length (the paper uses 30 days = 720 hourly points).
+    rng:
+        Random generator; pass a per-server child of a seeded
+        ``SeedSequence`` for reproducibility.
+    mean_util:
+        Per-server target mean utilization; defaults to the profile's.
+    """
+    if n_hours <= 0:
+        raise ConfigurationError(f"n_hours must be > 0, got {n_hours}")
+    target_mean = profile.mean_util if mean_util is None else mean_util
+    if not 0 < target_mean <= 1:
+        raise ConfigurationError(
+            f"{vm_id}: mean_util must be in (0, 1], got {target_mean}"
+        )
+    cpu_util = _generate_cpu_util(
+        profile,
+        target_mean,
+        n_hours,
+        rng,
+        shared_log_factor=shared_log_factor,
+        event_multiplier=event_multiplier,
+    )
+    memory_gb = _generate_memory_gb(
+        profile, cpu_util, source_model.memory_gb, rng
+    )
+    vm = VirtualMachine(
+        vm_id=vm_id,
+        memory_config_gb=source_model.memory_gb,
+        workload_class=profile.workload_class,
+        labels=dict(labels or {}, profile=profile.name),
+    )
+    return ServerTrace(
+        vm=vm,
+        source_spec=ServerSpec.from_model(source_model),
+        cpu_util=ResourceTrace(cpu_util, unit="fraction"),
+        memory_gb=ResourceTrace(memory_gb, unit="GB"),
+    )
+
+
+def _event_multiplier(
+    events: Sequence[Tuple[int, int, float]],
+    n_hours: int,
+    participation: float,
+    rng: np.random.Generator,
+) -> Optional[np.ndarray]:
+    """One server's flash-event exposure: a multiplicative load series."""
+    if not events or participation <= 0:
+        return None
+    multiplier = np.ones(n_hours)
+    hit_any = False
+    for start, duration, magnitude in events:
+        if rng.random() >= participation:
+            continue
+        hit_any = True
+        # The server's own severity varies around the event magnitude.
+        severity = magnitude * float(rng.uniform(0.5, 1.5))
+        for offset in range(duration):
+            t = start + offset
+            if t >= n_hours:
+                break
+            decay = 1.0 - offset / duration
+            multiplier[t] = max(multiplier[t], 1.0 + severity * decay)
+    return multiplier if hit_any else None
+
+
+def generate_trace_set(
+    name: str,
+    specs: Sequence[Tuple[WorkloadClassProfile, ServerModel, int]],
+    n_hours: int,
+    seed: int,
+    *,
+    mean_util_spread_sigma: float = 0.7,
+    mean_util_bounds: Tuple[float, float] = (0.002, 0.6),
+    correlation: Optional[CorrelationModel] = None,
+) -> TraceSet:
+    """Generate a trace set from ``(profile, hardware, count)`` groups.
+
+    Per-server mean utilizations are drawn lognormally around each
+    profile's target mean (``mean_util_spread_sigma`` in log space) to
+    reproduce the wide cross-server utilization spread of real
+    datacenters, then clipped to ``mean_util_bounds``.
+
+    When a :class:`CorrelationModel` is given, all servers share one
+    AR(1) business factor and one flash-event calendar, each scaled by
+    the server's class ``correlation_sensitivity``.
+    """
+    if n_hours <= 0:
+        raise ConfigurationError(f"n_hours must be > 0, got {n_hours}")
+    if mean_util_spread_sigma < 0:
+        raise ConfigurationError("mean_util_spread_sigma must be >= 0")
+    seed_sequence = np.random.SeedSequence(seed)
+    shared_rng = np.random.default_rng(seed_sequence.spawn(1)[0])
+    shared_log_factor = None
+    events: Sequence[Tuple[int, int, float]] = ()
+    if correlation is not None:
+        shared_log_factor = correlation.draw_shared_log_factor(
+            n_hours, shared_rng
+        )
+        events = correlation.draw_events(n_hours, shared_rng)
+    trace_set = TraceSet(name=name)
+    server_index = 0
+    for profile, hardware, count in specs:
+        if count < 0:
+            raise ConfigurationError(
+                f"{profile.name}: count must be >= 0, got {count}"
+            )
+        for _ in range(count):
+            rng = np.random.default_rng(seed_sequence.spawn(1)[0])
+            spread = float(
+                rng.lognormal(
+                    mean=-0.5 * mean_util_spread_sigma**2,
+                    sigma=mean_util_spread_sigma,
+                )
+            )
+            mean_util = float(
+                np.clip(profile.mean_util * spread, *mean_util_bounds)
+            )
+            event_multiplier = None
+            if correlation is not None:
+                event_multiplier = _event_multiplier(
+                    events,
+                    n_hours,
+                    correlation.event_participation
+                    * profile.correlation_sensitivity,
+                    rng,
+                )
+            trace_set.add(
+                generate_server_trace(
+                    vm_id=f"{name}-vm{server_index:04d}",
+                    profile=profile,
+                    source_model=hardware,
+                    n_hours=n_hours,
+                    rng=rng,
+                    mean_util=mean_util,
+                    shared_log_factor=shared_log_factor,
+                    event_multiplier=event_multiplier,
+                )
+            )
+            server_index += 1
+    return trace_set

@@ -1,0 +1,118 @@
+"""Trace set (de)serialization.
+
+Real deployments of the consolidation tool pull monitoring data from a
+central warehouse (Section 3.1); this module is the equivalent exchange
+format for the library.  A :class:`~repro.workloads.trace.TraceSet` is
+stored as a single ``.npz`` archive:
+
+* ``cpu_util`` — (n_servers, n_points) float matrix,
+* ``memory_gb`` — (n_servers, n_points) float matrix,
+* ``meta`` — a JSON document with the set name, sampling interval, and
+  per-server identity (vm id, workload class, labels, source spec).
+
+The format is self-contained and versioned so archives survive library
+upgrades.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.exceptions import TraceError
+from repro.infrastructure.server import ServerSpec
+from repro.infrastructure.vm import VirtualMachine
+from repro.workloads.trace import ResourceTrace, ServerTrace, TraceSet
+
+__all__ = ["save_trace_set", "load_trace_set", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+
+def save_trace_set(trace_set: TraceSet, path: Union[str, Path]) -> Path:
+    """Write a trace set to a ``.npz`` archive; returns the path written."""
+    path = Path(path)
+    if len(trace_set) == 0:
+        raise TraceError(f"refusing to save empty trace set {trace_set.name!r}")
+    servers = []
+    for trace in trace_set:
+        servers.append(
+            {
+                "vm_id": trace.vm.vm_id,
+                "memory_config_gb": trace.vm.memory_config_gb,
+                "workload_class": trace.vm.workload_class,
+                "labels": dict(trace.vm.labels),
+                "source_spec": {
+                    "cpu_rpe2": trace.source_spec.cpu_rpe2,
+                    "memory_gb": trace.source_spec.memory_gb,
+                    "model_name": trace.source_spec.model_name,
+                },
+            }
+        )
+    meta = {
+        "format_version": FORMAT_VERSION,
+        "name": trace_set.name,
+        "interval_hours": trace_set.interval_hours,
+        "servers": servers,
+    }
+    np.savez_compressed(
+        path,
+        cpu_util=trace_set.cpu_rpe2_matrix()
+        / np.array([[t.source_spec.cpu_rpe2] for t in trace_set]),
+        memory_gb=trace_set.memory_gb_matrix(),
+        meta=np.frombuffer(json.dumps(meta).encode("utf-8"), dtype=np.uint8),
+    )
+    # np.savez appends .npz when missing; report the real path.
+    return path if path.suffix == ".npz" else path.with_suffix(path.suffix + ".npz")
+
+
+def load_trace_set(path: Union[str, Path]) -> TraceSet:
+    """Load a trace set previously written by :func:`save_trace_set`."""
+    path = Path(path)
+    if not path.exists():
+        raise TraceError(f"trace archive not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        try:
+            meta = json.loads(bytes(archive["meta"]).decode("utf-8"))
+            cpu_util = archive["cpu_util"]
+            memory_gb = archive["memory_gb"]
+        except KeyError as exc:
+            raise TraceError(f"{path}: missing archive member {exc}") from None
+    version = meta.get("format_version")
+    if version != FORMAT_VERSION:
+        raise TraceError(
+            f"{path}: unsupported format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    servers = meta["servers"]
+    if cpu_util.shape[0] != len(servers) or memory_gb.shape != cpu_util.shape:
+        raise TraceError(
+            f"{path}: matrix shapes {cpu_util.shape}/{memory_gb.shape} do "
+            f"not match {len(servers)} server records"
+        )
+    interval_hours = float(meta["interval_hours"])
+    trace_set = TraceSet(name=meta["name"])
+    for row, record in enumerate(servers):
+        spec = ServerSpec(**record["source_spec"])
+        vm = VirtualMachine(
+            vm_id=record["vm_id"],
+            memory_config_gb=record["memory_config_gb"],
+            workload_class=record["workload_class"],
+            labels=record["labels"],
+        )
+        trace_set.add(
+            ServerTrace(
+                vm=vm,
+                source_spec=spec,
+                cpu_util=ResourceTrace(
+                    cpu_util[row], interval_hours=interval_hours, unit="fraction"
+                ),
+                memory_gb=ResourceTrace(
+                    memory_gb[row], interval_hours=interval_hours, unit="GB"
+                ),
+            )
+        )
+    return trace_set

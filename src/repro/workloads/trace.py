@@ -1,0 +1,289 @@
+"""Resource trace data structures.
+
+The unit of monitoring data in the paper is an hourly average per server,
+for the most recent 30 days, of CPU and memory usage (Section 3.1).  We
+model that as:
+
+* :class:`ResourceTrace` — one metric over time (a numpy vector plus its
+  sampling interval and unit),
+* :class:`ServerTrace` — one consolidation candidate: its VM identity,
+  the source server's hardware spec, and its CPU + memory traces,
+* :class:`TraceSet` — all candidates of one datacenter, with uniform
+  trace length, supporting time-window slicing (history vs evaluation)
+  and aggregate demand queries.
+
+CPU is stored as a utilization fraction of the *source* server and is
+converted to absolute RPE2 demand through the source spec; memory is
+stored directly in GB (the paper reports memory demand in absolute units).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TraceError
+from repro.infrastructure.server import ServerSpec
+from repro.infrastructure.vm import VirtualMachine
+
+__all__ = ["ResourceTrace", "ServerTrace", "TraceSet", "HOURS_PER_DAY"]
+
+HOURS_PER_DAY = 24
+
+
+def _as_trace_array(values: Sequence[float], what: str) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.ndim != 1:
+        raise TraceError(f"{what}: trace must be 1-D, got shape {array.shape}")
+    if array.size == 0:
+        raise TraceError(f"{what}: trace must be non-empty")
+    if not np.all(np.isfinite(array)):
+        raise TraceError(f"{what}: trace contains NaN or Inf")
+    if np.any(array < 0):
+        raise TraceError(f"{what}: trace contains negative values")
+    return array
+
+
+@dataclass(frozen=True)
+class ResourceTrace:
+    """A single metric sampled at a fixed interval.
+
+    Attributes
+    ----------
+    values:
+        Sampled values, one per interval.  Immutable by convention: the
+        array's writeable flag is cleared on construction.
+    interval_hours:
+        Sampling interval (1.0 for the paper's hourly aggregates).
+    unit:
+        Unit label for reports ("fraction", "GB", "rpe2", ...).
+    """
+
+    values: np.ndarray
+    interval_hours: float = 1.0
+    unit: str = ""
+
+    def __post_init__(self) -> None:
+        array = _as_trace_array(self.values, f"ResourceTrace[{self.unit}]")
+        if self.interval_hours <= 0:
+            raise TraceError(
+                f"interval_hours must be > 0, got {self.interval_hours}"
+            )
+        array = array.copy()
+        array.flags.writeable = False
+        object.__setattr__(self, "values", array)
+
+    def __len__(self) -> int:
+        return int(self.values.size)
+
+    @property
+    def duration_hours(self) -> float:
+        return len(self) * self.interval_hours
+
+    def window(self, start_hour: float, end_hour: float) -> "ResourceTrace":
+        """Slice the trace to ``[start_hour, end_hour)``.
+
+        Bounds must align to sample boundaries; misaligned windows are a
+        caller bug and raise :class:`TraceError`.
+        """
+        start_index = start_hour / self.interval_hours
+        end_index = end_hour / self.interval_hours
+        if start_index != int(start_index) or end_index != int(end_index):
+            raise TraceError(
+                f"window [{start_hour}, {end_hour}) does not align to "
+                f"{self.interval_hours}h samples"
+            )
+        i, j = int(start_index), int(end_index)
+        if not (0 <= i < j <= len(self)):
+            raise TraceError(
+                f"window [{start_hour}, {end_hour})h out of range for a "
+                f"{self.duration_hours}h trace"
+            )
+        return ResourceTrace(
+            values=self.values[i:j],
+            interval_hours=self.interval_hours,
+            unit=self.unit,
+        )
+
+    def mean(self) -> float:
+        return float(self.values.mean())
+
+    def peak(self) -> float:
+        return float(self.values.max())
+
+    def percentile(self, q: float) -> float:
+        if not 0 <= q <= 100:
+            raise TraceError(f"percentile must be in [0, 100], got {q}")
+        return float(np.percentile(self.values, q))
+
+
+@dataclass(frozen=True)
+class ServerTrace:
+    """One consolidation candidate: identity, source hardware, demand.
+
+    Attributes
+    ----------
+    vm:
+        The virtual machine this source server becomes.
+    source_spec:
+        Hardware of the source physical server.  CPU utilization fractions
+        are relative to this spec.
+    cpu_util:
+        CPU utilization fraction trace (0..1 on the source box).
+    memory_gb:
+        Memory demand trace in GB.
+    """
+
+    vm: VirtualMachine
+    source_spec: ServerSpec
+    cpu_util: ResourceTrace
+    memory_gb: ResourceTrace
+
+    def __post_init__(self) -> None:
+        if len(self.cpu_util) != len(self.memory_gb):
+            raise TraceError(
+                f"{self.vm.vm_id}: CPU trace has {len(self.cpu_util)} points "
+                f"but memory trace has {len(self.memory_gb)}"
+            )
+        if self.cpu_util.interval_hours != self.memory_gb.interval_hours:
+            raise TraceError(
+                f"{self.vm.vm_id}: CPU and memory traces have different "
+                "sampling intervals"
+            )
+
+    @property
+    def vm_id(self) -> str:
+        return self.vm.vm_id
+
+    @property
+    def interval_hours(self) -> float:
+        return self.cpu_util.interval_hours
+
+    def __len__(self) -> int:
+        return len(self.cpu_util)
+
+    @property
+    def cpu_rpe2(self) -> np.ndarray:
+        """Absolute CPU demand in RPE2 units (util × source capacity)."""
+        return self.cpu_util.values * self.source_spec.cpu_rpe2
+
+    def window(self, start_hour: float, end_hour: float) -> "ServerTrace":
+        return ServerTrace(
+            vm=self.vm,
+            source_spec=self.source_spec,
+            cpu_util=self.cpu_util.window(start_hour, end_hour),
+            memory_gb=self.memory_gb.window(start_hour, end_hour),
+        )
+
+
+@dataclass
+class TraceSet:
+    """All consolidation candidates of one datacenter.
+
+    All member traces must have the same length and sampling interval so
+    that aggregate (cross-server, per-timestep) queries are well defined.
+    """
+
+    name: str
+    _traces: List[ServerTrace] = field(default_factory=list)
+    _by_id: Dict[str, ServerTrace] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        traces, self._traces = list(self._traces), []
+        self._by_id = {}
+        for trace in traces:
+            self.add(trace)
+
+    def add(self, trace: ServerTrace) -> None:
+        if trace.vm_id in self._by_id:
+            raise TraceError(f"duplicate vm_id {trace.vm_id!r} in {self.name!r}")
+        if self._traces:
+            first = self._traces[0]
+            if len(trace) != len(first):
+                raise TraceError(
+                    f"{trace.vm_id}: length {len(trace)} != set length "
+                    f"{len(first)}"
+                )
+            if trace.interval_hours != first.interval_hours:
+                raise TraceError(
+                    f"{trace.vm_id}: interval {trace.interval_hours}h != set "
+                    f"interval {first.interval_hours}h"
+                )
+        self._traces.append(trace)
+        self._by_id[trace.vm_id] = trace
+
+    @property
+    def traces(self) -> Tuple[ServerTrace, ...]:
+        return tuple(self._traces)
+
+    def trace(self, vm_id: str) -> ServerTrace:
+        try:
+            return self._by_id[vm_id]
+        except KeyError:
+            raise TraceError(f"unknown vm_id {vm_id!r} in {self.name!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._traces)
+
+    def __iter__(self) -> Iterator[ServerTrace]:
+        return iter(self._traces)
+
+    def __contains__(self, vm_id: object) -> bool:
+        return vm_id in self._by_id
+
+    @property
+    def vm_ids(self) -> Tuple[str, ...]:
+        return tuple(t.vm_id for t in self._traces)
+
+    @property
+    def n_points(self) -> int:
+        if not self._traces:
+            raise TraceError(f"trace set {self.name!r} is empty")
+        return len(self._traces[0])
+
+    @property
+    def interval_hours(self) -> float:
+        if not self._traces:
+            raise TraceError(f"trace set {self.name!r} is empty")
+        return self._traces[0].interval_hours
+
+    @property
+    def duration_hours(self) -> float:
+        return self.n_points * self.interval_hours
+
+    def window(self, start_hour: float, end_hour: float) -> "TraceSet":
+        """Slice every trace to ``[start_hour, end_hour)``."""
+        return TraceSet(
+            name=self.name,
+            _traces=[t.window(start_hour, end_hour) for t in self._traces],
+        )
+
+    def subset(self, vm_ids: Iterable[str]) -> "TraceSet":
+        """Restrict to the given VMs (order follows ``vm_ids``)."""
+        return TraceSet(
+            name=self.name, _traces=[self.trace(v) for v in vm_ids]
+        )
+
+    def cpu_rpe2_matrix(self) -> np.ndarray:
+        """(n_servers, n_points) matrix of absolute CPU demand in RPE2."""
+        return np.vstack([t.cpu_rpe2 for t in self._traces])
+
+    def memory_gb_matrix(self) -> np.ndarray:
+        """(n_servers, n_points) matrix of memory demand in GB."""
+        return np.vstack([t.memory_gb.values for t in self._traces])
+
+    def aggregate_cpu_rpe2(self) -> np.ndarray:
+        """Total CPU demand across all servers, per timestep (RPE2)."""
+        return self.cpu_rpe2_matrix().sum(axis=0)
+
+    def aggregate_memory_gb(self) -> np.ndarray:
+        """Total memory demand across all servers, per timestep (GB)."""
+        return self.memory_gb_matrix().sum(axis=0)
+
+    def mean_cpu_utilization(self) -> float:
+        """Mean CPU utilization fraction across servers and time (Table 2)."""
+        return float(
+            np.mean([t.cpu_util.values.mean() for t in self._traces])
+        )

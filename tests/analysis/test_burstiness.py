@@ -1,0 +1,80 @@
+"""Tests for the burstiness analysis (Figs. 2-5)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.burstiness import (
+    analyze_burstiness,
+    server_cov,
+    server_peak_to_average,
+)
+from repro.exceptions import TraceError
+from repro.workloads.trace import TraceSet
+from tests.conftest import make_server_trace
+
+
+@pytest.fixture
+def spiky_trace():
+    # 23 hours at 0.1, one hour at 0.9 over 2 days.
+    util = np.full(48, 0.1)
+    util[10] = 0.9
+    util[34] = 0.9
+    memory = np.full(48, 2.0)
+    return make_server_trace("spiky", util, memory, cpu_rpe2=1000.0)
+
+
+class TestServerMetrics:
+    def test_p2a_1h(self, spiky_trace):
+        expected = 0.9 / np.mean(spiky_trace.cpu_util.values)
+        assert server_peak_to_average(spiky_trace, "cpu", 1.0) == (
+            pytest.approx(expected)
+        )
+
+    def test_p2a_decreases_with_interval(self, spiky_trace):
+        p2a_1 = server_peak_to_average(spiky_trace, "cpu", 1.0)
+        p2a_2 = server_peak_to_average(spiky_trace, "cpu", 2.0)
+        p2a_4 = server_peak_to_average(spiky_trace, "cpu", 4.0)
+        assert p2a_1 > p2a_2 > p2a_4
+
+    def test_flat_memory_p2a_is_one(self, spiky_trace):
+        assert server_peak_to_average(spiky_trace, "memory", 1.0) == 1.0
+
+    def test_cov_flat_memory_zero(self, spiky_trace):
+        assert server_cov(spiky_trace, "memory") == 0.0
+
+    def test_unknown_resource(self, spiky_trace):
+        with pytest.raises(TraceError, match="resource"):
+            server_peak_to_average(spiky_trace, "disk", 1.0)
+
+    def test_misaligned_interval(self, spiky_trace):
+        with pytest.raises(TraceError, match="align"):
+            server_peak_to_average(spiky_trace, "cpu", 1.5)
+
+
+class TestAnalyzeBurstiness:
+    def test_report_structure(self, flat_trace_set):
+        report = analyze_burstiness(flat_trace_set)
+        assert set(report.cov) == {"cpu", "memory"}
+        assert ("cpu", 1.0) in report.peak_to_average
+        assert ("memory", 4.0) in report.peak_to_average
+        assert len(report.cov["cpu"]) == len(flat_trace_set)
+
+    def test_flat_set_not_bursty(self, flat_trace_set):
+        report = analyze_burstiness(flat_trace_set)
+        assert report.median_p2a("cpu", 1.0) == 1.0
+        assert report.fraction_p2a_above("cpu", 1.0, 1.5) == 0.0
+        assert report.cov["cpu"].median == 0.0
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(TraceError, match="empty"):
+            analyze_burstiness(TraceSet(name="none"))
+
+    def test_generated_set_cpu_burstier_than_memory(self, generated_trace_set):
+        report = analyze_burstiness(generated_trace_set)
+        assert (
+            report.median_p2a("cpu", 1.0)
+            > report.median_p2a("memory", 1.0)
+        )
+        assert (
+            report.cov["cpu"].median > report.cov["memory"].median
+        )

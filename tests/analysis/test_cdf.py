@@ -1,0 +1,54 @@
+"""Tests for the empirical CDF."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.exceptions import TraceError
+
+
+class TestEmpiricalCDF:
+    def test_at_known_points(self):
+        cdf = EmpiricalCDF.from_sample([1.0, 2.0, 3.0, 4.0])
+        assert cdf.at(0.5) == 0.0
+        assert cdf.at(1.0) == 0.25
+        assert cdf.at(2.5) == 0.5
+        assert cdf.at(4.0) == 1.0
+        assert cdf.at(100.0) == 1.0
+
+    def test_right_continuity_with_ties(self):
+        cdf = EmpiricalCDF.from_sample([2.0, 2.0, 2.0, 5.0])
+        assert cdf.at(2.0) == 0.75
+        assert cdf.at(1.999) == 0.0
+
+    def test_fraction_above_is_strict(self):
+        cdf = EmpiricalCDF.from_sample([1.0, 2.0, 2.0, 3.0])
+        assert cdf.fraction_above(2.0) == pytest.approx(0.25)
+        assert cdf.fraction_above(0.0) == 1.0
+
+    def test_quantiles(self):
+        cdf = EmpiricalCDF.from_sample(np.arange(101, dtype=float))
+        assert cdf.quantile(0.0) == 0.0
+        assert cdf.quantile(1.0) == 100.0
+        assert cdf.median == pytest.approx(50.0)
+
+    def test_quantile_range_checked(self):
+        cdf = EmpiricalCDF.from_sample([1.0])
+        with pytest.raises(TraceError):
+            cdf.quantile(1.5)
+
+    def test_tabulate(self):
+        cdf = EmpiricalCDF.from_sample([1.0, 2.0, 3.0, 4.0])
+        table = cdf.tabulate([2.0, 3.0])
+        assert table == ((2.0, 0.5), (3.0, 0.75))
+
+    def test_input_not_mutated_and_sorted_internally(self):
+        sample = np.array([3.0, 1.0, 2.0])
+        cdf = EmpiricalCDF(sample)
+        assert list(cdf.sorted_values) == [1.0, 2.0, 3.0]
+        assert list(sample) == [3.0, 1.0, 2.0]
+
+    @pytest.mark.parametrize("bad", [[], [float("nan")], [[1.0, 2.0]]])
+    def test_invalid_samples(self, bad):
+        with pytest.raises(TraceError):
+            EmpiricalCDF.from_sample(np.array(bad))

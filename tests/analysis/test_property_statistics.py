@@ -1,0 +1,94 @@
+"""Property-based tests for demand statistics and CDFs (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.analysis.statistics import (
+    coefficient_of_variation,
+    interval_demand,
+    peak_to_average,
+)
+
+positive_series = hnp.arrays(
+    dtype=float,
+    shape=st.integers(4, 96).map(lambda n: n - n % 4),  # multiple of 4
+    elements=st.floats(0.0, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+@given(values=positive_series)
+@settings(max_examples=80, deadline=None)
+def test_p2a_at_least_one(values):
+    assert peak_to_average(values) >= 1.0 - 1e-12
+
+
+@given(values=positive_series)
+@settings(max_examples=80, deadline=None)
+def test_p2a_nonincreasing_in_interval_length(values):
+    ratios = [
+        peak_to_average(interval_demand(values, k)) for k in (1, 2, 4)
+    ]
+    assert ratios[0] >= ratios[1] - 1e-9
+    assert ratios[1] >= ratios[2] - 1e-9
+
+
+@given(values=positive_series, scale=st.floats(1e-3, 1e3))
+@settings(max_examples=60, deadline=None)
+def test_cov_scale_invariant(values, scale):
+    original = coefficient_of_variation(values)
+    scaled = coefficient_of_variation(values * scale)
+    # Relative tolerance: near-subnormal inputs lose a few bits under
+    # multiplication, so exact equality is not achievable.
+    assert scaled == pytest.approx(original, rel=1e-5, abs=1e-9)
+
+
+@given(values=positive_series)
+@settings(max_examples=60, deadline=None)
+def test_interval_demand_max_dominates_each_window(values):
+    demand = interval_demand(values, 4)
+    windows = values.reshape(-1, 4)
+    assert (demand[:, None] >= windows).all()
+    assert (demand == windows.max(axis=1)).all()
+
+
+sample_strategy = hnp.arrays(
+    dtype=float,
+    shape=st.integers(1, 200),
+    elements=st.floats(-1e6, 1e6, allow_nan=False, allow_infinity=False),
+)
+
+
+@given(sample=sample_strategy)
+@settings(max_examples=80, deadline=None)
+def test_cdf_monotone_and_bounded(sample):
+    cdf = EmpiricalCDF(sample)
+    xs = np.linspace(sample.min() - 1, sample.max() + 1, 17)
+    values = [cdf.at(float(x)) for x in xs]
+    assert all(0.0 <= v <= 1.0 for v in values)
+    assert all(a <= b + 1e-12 for a, b in zip(values, values[1:]))
+    assert cdf.at(float(sample.max())) == 1.0
+
+
+@given(
+    sample=sample_strategy,
+    q1=st.floats(0.0, 1.0),
+    q2=st.floats(0.0, 1.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_cdf_quantile_monotone_and_in_range(sample, q1, q2):
+    cdf = EmpiricalCDF(sample)
+    lo, hi = min(q1, q2), max(q1, q2)
+    x_lo, x_hi = cdf.quantile(lo), cdf.quantile(hi)
+    assert x_lo <= x_hi
+    assert sample.min() <= x_lo <= sample.max()
+    assert sample.min() <= x_hi <= sample.max()
+
+
+@given(sample=sample_strategy, x=st.floats(-1e6, 1e6))
+@settings(max_examples=60, deadline=None)
+def test_cdf_complement(sample, x):
+    cdf = EmpiricalCDF(sample)
+    assert cdf.at(x) + cdf.fraction_above(x) == 1.0

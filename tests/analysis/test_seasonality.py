@@ -1,0 +1,81 @@
+"""Tests for seasonality detection."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.seasonality import (
+    DIURNAL_LAG,
+    WEEKLY_LAG,
+    periodic_strength,
+    seasonality_profile,
+)
+from repro.exceptions import TraceError
+
+
+def _diurnal_series(days=14, noise=0.0, seed=0):
+    rng = np.random.default_rng(seed)
+    hours = np.arange(days * 24)
+    series = 1.0 + np.sin(2 * np.pi * hours / 24)
+    return series + noise * rng.standard_normal(series.size) + 2.0
+
+
+class TestPeriodicStrength:
+    def test_pure_diurnal_is_strongly_periodic(self):
+        assert periodic_strength(_diurnal_series(), DIURNAL_LAG) > 0.95
+
+    def test_white_noise_is_aperiodic(self):
+        rng = np.random.default_rng(1)
+        series = rng.random(24 * 14)
+        assert periodic_strength(series, DIURNAL_LAG) < 0.2
+
+    def test_noise_weakens_periodicity(self):
+        clean = periodic_strength(_diurnal_series(noise=0.0), DIURNAL_LAG)
+        noisy = periodic_strength(_diurnal_series(noise=1.5), DIURNAL_LAG)
+        assert noisy < clean
+
+    def test_constant_series_scores_zero(self):
+        assert periodic_strength(np.full(100, 3.0), 24) == 0.0
+
+    def test_negative_autocorrelation_clipped(self):
+        # Period-2 alternation is anti-correlated at odd lags.
+        series = np.tile([0.0, 1.0], 100)
+        assert periodic_strength(series, 1) == 0.0
+
+    def test_short_series_rejected(self):
+        with pytest.raises(TraceError, match="at least"):
+            periodic_strength(np.ones(30), 24)
+
+    def test_bad_lag_rejected(self):
+        with pytest.raises(TraceError):
+            periodic_strength(np.ones(100), 0)
+
+
+class TestSeasonalityProfile:
+    def test_diurnal_label(self):
+        profile = seasonality_profile("vm", _diurnal_series())
+        assert profile.label == "diurnal"
+        assert profile.diurnal_strength > 0.9
+
+    def test_weekly_label(self):
+        # Flat weekdays, quiet weekends, no intra-day cycle.
+        weeks = 4
+        pattern = np.concatenate(
+            [np.full(5 * 24, 2.0), np.full(2 * 24, 0.5)]
+        )
+        series = np.tile(pattern, weeks)
+        rng = np.random.default_rng(2)
+        series = series + 0.05 * rng.standard_normal(series.size)
+        profile = seasonality_profile("vm", series)
+        assert profile.weekly_strength > 0.8
+        # Daily lag also correlates within weekdays, so only assert the
+        # label when diurnal does not dominate.
+        assert profile.label in ("weekly", "diurnal")
+
+    def test_aperiodic_label(self):
+        rng = np.random.default_rng(3)
+        profile = seasonality_profile("vm", rng.random(24 * 15) + 0.5)
+        assert profile.label == "aperiodic"
+
+    def test_short_trace_skips_weekly(self):
+        profile = seasonality_profile("vm", _diurnal_series(days=7))
+        assert profile.weekly_strength == 0.0

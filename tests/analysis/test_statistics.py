@@ -1,0 +1,80 @@
+"""Tests for the demand statistics primitives."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.statistics import (
+    SIZING_MAX,
+    SIZING_MEAN,
+    coefficient_of_variation,
+    interval_demand,
+    peak_to_average,
+)
+from repro.exceptions import TraceError
+
+
+class TestIntervalDemand:
+    def test_max_sizing_takes_window_peaks(self):
+        values = np.array([1.0, 3.0, 2.0, 5.0, 0.0, 1.0])
+        assert list(interval_demand(values, 2)) == [3.0, 5.0, 1.0]
+
+    def test_mean_sizing(self):
+        values = np.array([1.0, 3.0, 2.0, 4.0])
+        assert list(interval_demand(values, 2, SIZING_MEAN)) == [2.0, 3.0]
+
+    def test_custom_sizing_function(self):
+        values = np.arange(8, dtype=float)
+        p50 = interval_demand(values, 4, lambda w: float(np.median(w)))
+        assert list(p50) == [1.5, 5.5]
+
+    def test_interval_of_one_is_identity(self):
+        values = np.array([2.0, 1.0, 4.0])
+        assert list(interval_demand(values, 1)) == [2.0, 1.0, 4.0]
+
+    def test_misaligned_length_rejected(self):
+        with pytest.raises(TraceError, match="multiple"):
+            interval_demand(np.ones(5), 2)
+
+    def test_longer_intervals_reduce_p2a(self):
+        # The Fig. 2 trend: coarser consolidation intervals raise the
+        # average of the interval-demand series, lowering the ratio.
+        rng = np.random.default_rng(0)
+        values = rng.lognormal(0, 1.0, size=720)
+        ratios = [
+            peak_to_average(interval_demand(values, k)) for k in (1, 2, 4)
+        ]
+        assert ratios[0] >= ratios[1] >= ratios[2]
+
+
+class TestPeakToAverage:
+    def test_flat_series_is_one(self):
+        assert peak_to_average(np.full(10, 3.0)) == 1.0
+
+    def test_all_zero_series_is_one(self):
+        assert peak_to_average(np.zeros(5)) == 1.0
+
+    def test_known_value(self):
+        assert peak_to_average(np.array([1.0, 1.0, 4.0])) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(TraceError):
+            peak_to_average(np.array([]))
+
+
+class TestCoV:
+    def test_flat_series_is_zero(self):
+        assert coefficient_of_variation(np.full(8, 2.0)) == 0.0
+
+    def test_all_zero_series_is_zero(self):
+        assert coefficient_of_variation(np.zeros(4)) == 0.0
+
+    def test_known_value(self):
+        values = np.array([0.0, 2.0])
+        assert coefficient_of_variation(values) == pytest.approx(1.0)
+
+    def test_scale_invariance(self):
+        rng = np.random.default_rng(1)
+        values = rng.random(1000) + 0.1
+        assert coefficient_of_variation(values) == pytest.approx(
+            coefficient_of_variation(values * 7.3)
+        )

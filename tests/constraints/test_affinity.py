@@ -1,0 +1,80 @@
+"""Tests for host-level affinity constraints."""
+
+import pytest
+
+from repro.constraints.affinity import (
+    AntiColocate,
+    Colocate,
+    ExcludeHosts,
+    PinToHost,
+)
+from repro.constraints.base import PlacementContext
+from repro.exceptions import ConfigurationError
+
+
+@pytest.fixture
+def context_factory(tiny_pool):
+    def factory(assignment):
+        return PlacementContext(assignment, tiny_pool)
+
+    return factory
+
+
+class TestColocate:
+    def test_unplaced_partner_allows_anything(self, tiny_pool, context_factory):
+        constraint = Colocate("a", "b")
+        host = tiny_pool.host("tiny-h0")
+        assert constraint.allows("a", host, context_factory({}))
+
+    def test_follows_placed_partner(self, tiny_pool, context_factory):
+        constraint = Colocate("a", "b")
+        h0, h1 = tiny_pool.host("tiny-h0"), tiny_pool.host("tiny-h1")
+        context = context_factory({"a": "tiny-h0"})
+        assert constraint.allows("b", h0, context)
+        assert not constraint.allows("b", h1, context)
+
+    def test_needs_two_vms(self):
+        with pytest.raises(ConfigurationError):
+            Colocate("a")
+
+    def test_describe_mentions_vms(self):
+        assert "a" in Colocate("a", "b").describe()
+
+
+class TestAntiColocate:
+    def test_blocks_shared_host(self, tiny_pool, context_factory):
+        constraint = AntiColocate("a", "b", "c")
+        h0 = tiny_pool.host("tiny-h0")
+        context = context_factory({"a": "tiny-h0"})
+        assert not constraint.allows("b", h0, context)
+        assert constraint.allows(
+            "b", tiny_pool.host("tiny-h1"), context
+        )
+
+    def test_non_member_unaffected(self, tiny_pool, context_factory):
+        constraint = AntiColocate("a", "b")
+        assert not constraint.applies_to("z")
+
+
+class TestPinToHost:
+    def test_only_pinned_host_allowed(self, tiny_pool, context_factory):
+        constraint = PinToHost("a", "tiny-h1")
+        context = context_factory({})
+        assert not constraint.allows("a", tiny_pool.host("tiny-h0"), context)
+        assert constraint.allows("a", tiny_pool.host("tiny-h1"), context)
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PinToHost("a", "")
+
+
+class TestExcludeHosts:
+    def test_excluded_host_blocked(self, tiny_pool, context_factory):
+        constraint = ExcludeHosts("a", ["tiny-h0"])
+        context = context_factory({})
+        assert not constraint.allows("a", tiny_pool.host("tiny-h0"), context)
+        assert constraint.allows("a", tiny_pool.host("tiny-h1"), context)
+
+    def test_needs_hosts(self):
+        with pytest.raises(ConfigurationError):
+            ExcludeHosts("a", [])

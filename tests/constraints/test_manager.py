@@ -1,0 +1,70 @@
+"""Tests for the constraint set manager."""
+
+import pytest
+
+from repro.constraints.affinity import AntiColocate, Colocate, PinToHost
+from repro.constraints.manager import ConstraintSet
+from repro.exceptions import ConstraintViolation
+
+
+class TestFeasibility:
+    def test_empty_set_always_feasible(self, tiny_pool):
+        constraints = ConstraintSet()
+        assert constraints.feasible(
+            "any", tiny_pool.host("tiny-h0"), {}, tiny_pool
+        )
+        assert not constraints  # falsy when empty
+
+    def test_indexing_only_consults_relevant(self, tiny_pool):
+        constraints = ConstraintSet([AntiColocate("a", "b")])
+        # VM "z" is untouched by the constraint even on the same host.
+        assert constraints.feasible(
+            "z", tiny_pool.host("tiny-h0"), {"a": "tiny-h0"}, tiny_pool
+        )
+        assert not constraints.feasible(
+            "b", tiny_pool.host("tiny-h0"), {"a": "tiny-h0"}, tiny_pool
+        )
+
+    def test_multiple_constraints_all_must_pass(self, tiny_pool):
+        constraints = ConstraintSet(
+            [PinToHost("a", "tiny-h0"), AntiColocate("a", "b")]
+        )
+        assert not constraints.feasible(
+            "a", tiny_pool.host("tiny-h0"), {"b": "tiny-h0"}, tiny_pool
+        )
+        assert constraints.feasible(
+            "a", tiny_pool.host("tiny-h0"), {"b": "tiny-h1"}, tiny_pool
+        )
+
+    def test_constraints_for(self, tiny_pool):
+        anti = AntiColocate("a", "b")
+        constraints = ConstraintSet([anti])
+        assert constraints.constraints_for("a") == (anti,)
+        assert constraints.constraints_for("z") == ()
+
+
+class TestValidation:
+    def test_violations_reported(self, tiny_pool):
+        constraints = ConstraintSet([Colocate("a", "b")])
+        violations = constraints.violations(
+            {"a": "tiny-h0", "b": "tiny-h1"}, tiny_pool
+        )
+        assert len(violations) == 1
+        assert "colocate" in violations[0]
+
+    def test_validate_raises_with_description(self, tiny_pool):
+        constraints = ConstraintSet([AntiColocate("a", "b")])
+        with pytest.raises(ConstraintViolation, match="anti-colocate"):
+            constraints.validate(
+                {"a": "tiny-h0", "b": "tiny-h0"}, tiny_pool
+            )
+
+    def test_valid_assignment_passes(self, tiny_pool):
+        constraints = ConstraintSet(
+            [AntiColocate("a", "b"), PinToHost("a", "tiny-h0")]
+        )
+        constraints.validate({"a": "tiny-h0", "b": "tiny-h1"}, tiny_pool)
+
+    def test_unplaced_vms_skipped(self, tiny_pool):
+        constraints = ConstraintSet([Colocate("a", "b")])
+        assert constraints.violations({"a": "tiny-h0"}, tiny_pool) == []

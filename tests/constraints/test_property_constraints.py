@@ -1,0 +1,102 @@
+"""Property-based tests for the constraint framework (hypothesis).
+
+The load-bearing consistency: for any assignment, ``violations()`` is
+empty exactly when every placed VM's constraints ``allow`` its host in
+the final context — the greedy check and the validation pass must agree
+on completed placements.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.constraints.affinity import (
+    AntiColocate,
+    Colocate,
+    ExcludeHosts,
+    PinToHost,
+)
+from repro.constraints.base import PlacementContext
+from repro.constraints.manager import ConstraintSet
+from repro.infrastructure.datacenter import Datacenter
+from repro.infrastructure.server import PhysicalServer, ServerSpec
+
+N_VMS = 5
+N_HOSTS = 3
+VM_IDS = [f"vm{i}" for i in range(N_VMS)]
+HOST_IDS = [f"h{i}" for i in range(N_HOSTS)]
+
+
+def _pool() -> Datacenter:
+    dc = Datacenter(name="prop")
+    spec = ServerSpec(cpu_rpe2=100.0, memory_gb=1.0)
+    for index, host_id in enumerate(HOST_IDS):
+        dc.add_host(
+            PhysicalServer(
+                host_id=host_id, spec=spec, rack=f"r{index % 2}"
+            )
+        )
+    return dc
+
+
+POOL = _pool()
+
+vm_pair = st.tuples(
+    st.sampled_from(VM_IDS), st.sampled_from(VM_IDS)
+).filter(lambda pair: pair[0] != pair[1])
+
+constraint_strategy = st.one_of(
+    vm_pair.map(lambda p: Colocate(*p)),
+    vm_pair.map(lambda p: AntiColocate(*p)),
+    st.tuples(st.sampled_from(VM_IDS), st.sampled_from(HOST_IDS)).map(
+        lambda p: PinToHost(*p)
+    ),
+    st.tuples(st.sampled_from(VM_IDS), st.sampled_from(HOST_IDS)).map(
+        lambda p: ExcludeHosts(p[0], [p[1]])
+    ),
+)
+
+assignment_strategy = st.fixed_dictionaries(
+    {vm: st.sampled_from(HOST_IDS) for vm in VM_IDS}
+)
+
+
+@given(
+    constraints=st.lists(constraint_strategy, max_size=6),
+    assignment=assignment_strategy,
+)
+@settings(max_examples=150, deadline=None)
+def test_violations_consistent_with_allows(constraints, assignment):
+    constraint_set = ConstraintSet(constraints)
+    violations = constraint_set.violations(assignment, POOL)
+    context = PlacementContext(assignment, POOL)
+    all_allowed = all(
+        constraint.allows(vm_id, POOL.host(assignment[vm_id]), context)
+        for constraint in constraints
+        for vm_id in constraint.vm_ids
+    )
+    assert (len(violations) == 0) == all_allowed
+
+
+@given(
+    constraints=st.lists(constraint_strategy, max_size=6),
+    assignment=assignment_strategy,
+    vm=st.sampled_from(VM_IDS),
+)
+@settings(max_examples=100, deadline=None)
+def test_feasible_matches_relevant_allows(constraints, assignment, vm):
+    constraint_set = ConstraintSet(constraints)
+    host = POOL.host(assignment[vm])
+    others = {k: v for k, v in assignment.items() if k != vm}
+    feasible = constraint_set.feasible(vm, host, others, POOL)
+    context = PlacementContext(others, POOL)
+    expected = all(
+        c.allows(vm, host, context)
+        for c in constraint_set.constraints_for(vm)
+    )
+    assert feasible == expected
+
+
+@given(constraints=st.lists(constraint_strategy, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_empty_assignment_never_violates(constraints):
+    constraint_set = ConstraintSet(constraints)
+    assert constraint_set.violations({}, POOL) == []

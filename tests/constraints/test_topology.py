@@ -1,0 +1,79 @@
+"""Tests for rack/subnet topology constraints."""
+
+import pytest
+
+from repro.constraints.base import PlacementContext
+from repro.constraints.topology import (
+    PinToRack,
+    PinToSubnet,
+    SameRack,
+    SameSubnet,
+)
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.datacenter import Datacenter
+from repro.infrastructure.server import PhysicalServer, ServerSpec
+
+
+@pytest.fixture
+def topo_pool():
+    dc = Datacenter(name="topo")
+    spec = ServerSpec(cpu_rpe2=100.0, memory_gb=1.0)
+    dc.add_host(PhysicalServer("h0", spec, rack="r0", subnet="n0"))
+    dc.add_host(PhysicalServer("h1", spec, rack="r0", subnet="n1"))
+    dc.add_host(PhysicalServer("h2", spec, rack="r1", subnet="n1"))
+    dc.add_host(PhysicalServer("h3", spec))  # no topology labels
+    return dc
+
+
+class TestSameRack:
+    def test_partner_fixes_rack(self, topo_pool):
+        constraint = SameRack("a", "b")
+        context = PlacementContext({"a": "h0"}, topo_pool)
+        assert constraint.allows("b", topo_pool.host("h1"), context)
+        assert not constraint.allows("b", topo_pool.host("h2"), context)
+
+    def test_unknown_topology_fails_closed(self, topo_pool):
+        constraint = SameRack("a", "b")
+        context = PlacementContext({}, topo_pool)
+        assert not constraint.allows("a", topo_pool.host("h3"), context)
+
+    def test_unplaced_partners_allow(self, topo_pool):
+        constraint = SameRack("a", "b")
+        context = PlacementContext({}, topo_pool)
+        assert constraint.allows("a", topo_pool.host("h0"), context)
+
+    def test_needs_two_vms(self):
+        with pytest.raises(ConfigurationError):
+            SameRack("a")
+
+
+class TestSameSubnet:
+    def test_subnet_grouping(self, topo_pool):
+        constraint = SameSubnet("a", "b")
+        context = PlacementContext({"a": "h1"}, topo_pool)
+        # h2 shares subnet n1 even though it's in another rack.
+        assert constraint.allows("b", topo_pool.host("h2"), context)
+        assert not constraint.allows("b", topo_pool.host("h0"), context)
+
+
+class TestPinToZone:
+    def test_pin_to_rack(self, topo_pool):
+        constraint = PinToRack("a", "r1")
+        context = PlacementContext({}, topo_pool)
+        assert constraint.allows("a", topo_pool.host("h2"), context)
+        assert not constraint.allows("a", topo_pool.host("h0"), context)
+        assert not constraint.allows("a", topo_pool.host("h3"), context)
+
+    def test_pin_to_subnet(self, topo_pool):
+        constraint = PinToSubnet("a", "n0")
+        context = PlacementContext({}, topo_pool)
+        assert constraint.allows("a", topo_pool.host("h0"), context)
+        assert not constraint.allows("a", topo_pool.host("h1"), context)
+
+    def test_empty_zone_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PinToRack("a", "")
+
+    def test_describe(self):
+        assert "r1" in PinToRack("a", "r1").describe()
+        assert "subnet" in PinToSubnet("a", "n0").describe()

@@ -1,0 +1,71 @@
+"""Tests for BrownMap-style power-budgeted consolidation."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConsolidationPlanner,
+    DynamicConsolidation,
+    PowerBudgetedConsolidation,
+)
+from repro.exceptions import ConfigurationError
+from repro.infrastructure import build_target_pool
+from repro.workloads import generate_datacenter
+
+
+@pytest.fixture(scope="module")
+def planner():
+    traces = generate_datacenter("banking", scale=0.06)
+    pool = build_target_pool("p", host_count=30)
+    return ConsolidationPlanner(traces=traces, datacenter=pool)
+
+
+@pytest.fixture(scope="module")
+def unconstrained(planner):
+    return planner.run(DynamicConsolidation())
+
+
+class TestPowerBudget:
+    def test_infinite_budget_matches_dynamic(self, planner, unconstrained):
+        capped = planner.run(
+            PowerBudgetedConsolidation(budget_watts=float("inf"))
+        )
+        assert capped.provisioned_servers == unconstrained.provisioned_servers
+        assert capped.energy_kwh == pytest.approx(
+            unconstrained.energy_kwh, rel=1e-9
+        )
+
+    def test_budget_reduces_peak_power(self, planner, unconstrained):
+        peak = unconstrained.power_watts.sum(axis=0).max()
+        algo = PowerBudgetedConsolidation(budget_watts=peak * 0.7)
+        capped = planner.run(algo)
+        assert capped.power_watts.sum(axis=0).max() < peak
+
+    def test_budget_forces_extra_migrations(self, planner, unconstrained):
+        peak = unconstrained.power_watts.sum(axis=0).max()
+        capped = planner.run(
+            PowerBudgetedConsolidation(budget_watts=peak * 0.7)
+        )
+        assert capped.total_migrations() >= unconstrained.total_migrations()
+
+    def test_overshoot_reported(self, planner, unconstrained):
+        # An absurdly low budget cannot be met: every interval reports
+        # its residual overshoot instead of failing.
+        algo = PowerBudgetedConsolidation(budget_watts=1.0)
+        result = planner.run(algo)
+        assert len(algo.overshoot_watts) == len(result.schedule)
+        assert all(o > 0 for o in algo.overshoot_watts)
+
+    def test_all_vms_still_placed(self, planner, unconstrained):
+        peak = unconstrained.power_watts.sum(axis=0).max()
+        capped = planner.run(
+            PowerBudgetedConsolidation(budget_watts=peak * 0.6)
+        )
+        for segment in capped.schedule:
+            assert len(segment.placement) == len(
+                planner.context.evaluation.vm_ids
+            )
+
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            PowerBudgetedConsolidation(budget_watts=0.0)

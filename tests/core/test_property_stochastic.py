@@ -1,0 +1,88 @@
+"""Property-based tests for the PCP cluster bin (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.stochastic import _ClusterBin
+from repro.infrastructure.server import PhysicalServer, ServerSpec
+from repro.infrastructure.vm import VMDemand
+
+HOST = PhysicalServer(
+    host_id="h0",
+    spec=ServerSpec(cpu_rpe2=1000.0, memory_gb=100.0, network_mbps=10_000.0),
+)
+
+demand_strategy = st.builds(
+    lambda i, cpu, mem, tail_cpu, tail_mem: VMDemand(
+        vm_id=f"vm{i}",
+        cpu_rpe2=cpu,
+        memory_gb=mem,
+        tail_cpu_rpe2=tail_cpu,
+        tail_memory_gb=tail_mem,
+    ),
+    st.integers(0, 10**6),
+    st.floats(0.0, 200.0),
+    st.floats(0.0, 20.0),
+    st.floats(0.0, 150.0),
+    st.floats(0.0, 15.0),
+)
+
+
+@st.composite
+def placements(draw):
+    demands = draw(st.lists(demand_strategy, min_size=1, max_size=15))
+    clusters = [
+        draw(st.integers(0, 3)) for _ in demands
+    ]
+    overlap = draw(st.sampled_from([0.0, 0.3, 0.55, 1.0]))
+    return demands, clusters, overlap
+
+
+@given(data=placements())
+@settings(max_examples=80, deadline=None)
+def test_greedy_adds_respect_capacity(data):
+    demands, clusters, overlap = data
+    bin_ = _ClusterBin(HOST, 1.0, overlap)
+    for demand, cluster in zip(demands, clusters):
+        if bin_.fits(demand, cluster):
+            bin_.add(demand, cluster)
+    # Reconstruct the reservation from scratch and check it.
+    body_cpu = bin_.body_cpu
+    tails = bin_.cluster_tail_cpu
+    if tails:
+        worst = max(tails.values())
+        pooled = worst + overlap * (sum(tails.values()) - worst)
+    else:
+        pooled = 0.0
+    assert body_cpu + pooled <= bin_.cpu_capacity + 1e-6
+
+
+@given(data=placements())
+@settings(max_examples=60, deadline=None)
+def test_overlap_one_reserves_all_tails(data):
+    demands, clusters, _ = data
+    conservative = _ClusterBin(HOST, 1.0, 1.0)
+    added = []
+    for demand, cluster in zip(demands, clusters):
+        if conservative.fits(demand, cluster):
+            conservative.add(demand, cluster)
+            added.append(demand)
+    total_tails = sum(d.tail_cpu_rpe2 for d in added)
+    total_bodies = sum(d.cpu_rpe2 for d in added)
+    # With overlap=1 the reservation equals bodies + all tails, i.e.
+    # sized-at-max packing.
+    assert total_bodies + total_tails <= conservative.cpu_capacity + 1e-6
+
+
+@given(data=placements())
+@settings(max_examples=60, deadline=None)
+def test_lower_overlap_admits_superset(data):
+    demands, clusters, _ = data
+    tight = _ClusterBin(HOST, 1.0, 0.0)
+    loose = _ClusterBin(HOST, 1.0, 1.0)
+    for demand, cluster in zip(demands, clusters):
+        if loose.fits(demand, cluster):
+            # Anything the conservative bin admits, the optimistic bin
+            # must admit too (monotonicity in the overlap factor).
+            assert tight.fits(demand, cluster)
+            loose.add(demand, cluster)
+            tight.add(demand, cluster)

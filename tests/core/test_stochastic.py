@@ -1,0 +1,93 @@
+"""Tests for PCP-style stochastic consolidation."""
+
+import numpy as np
+import pytest
+
+from repro.core.base import PlanningConfig, PlanningContext
+from repro.core.semistatic import SemiStaticConsolidation
+from repro.core.stochastic import StochasticConsolidation
+from repro.constraints.affinity import AntiColocate
+from repro.constraints.manager import ConstraintSet
+from repro.workloads.trace import TraceSet
+from tests.conftest import make_server_trace
+
+
+def _bursty_context(small_pool, n_vms=24, hours=96, seed=0):
+    """VMs with alternating peak phases: ideal PCP material."""
+    rng = np.random.default_rng(seed)
+    history = TraceSet(name="h")
+    evaluation = TraceSet(name="e")
+    for i in range(n_vms):
+        util = np.full(hours, 0.05) + rng.random(hours) * 0.02
+        # Phase-offset peaks: group 0 peaks in even slots, group 1 odd.
+        for t in range(i % 2 * 6, hours, 12):
+            util[t] = 0.9
+        memory = np.full(hours, 1.0)
+        for ts, vm_id in ((history, f"vm{i}"), (evaluation, f"vm{i}")):
+            ts.add(
+                make_server_trace(
+                    vm_id, util, memory, cpu_rpe2=4000.0
+                )
+            )
+    return PlanningContext(
+        history=history, evaluation=evaluation, datacenter=small_pool
+    )
+
+
+class TestStochasticConsolidation:
+    def test_uses_fewer_hosts_than_vanilla(self, small_pool):
+        context = _bursty_context(small_pool)
+        vanilla = SemiStaticConsolidation().plan(context)
+        stochastic = StochasticConsolidation().plan(context)
+        assert (
+            stochastic.segments[0].placement.active_host_count
+            <= vanilla.segments[0].placement.active_host_count
+        )
+
+    def test_all_vms_placed(self, small_pool):
+        context = _bursty_context(small_pool)
+        placement = StochasticConsolidation().plan(context).segments[0].placement
+        assert len(placement) == 24
+
+    def test_overlap_factor_one_matches_max_sizing_budget(self, small_pool):
+        # With full overlap, body+tail per VM is reserved: the host
+        # count cannot beat vanilla's (same totals, same heuristic family).
+        context = _bursty_context(small_pool)
+        conservative = StochasticConsolidation(tail_overlap_factor=1.0)
+        vanilla = SemiStaticConsolidation().plan(context)
+        plan = conservative.plan(context)
+        assert (
+            plan.segments[0].placement.active_host_count
+            >= vanilla.segments[0].placement.active_host_count - 1
+        )
+
+    def test_lower_overlap_packs_tighter(self, small_pool):
+        context = _bursty_context(small_pool)
+        tight = StochasticConsolidation(tail_overlap_factor=0.0).plan(context)
+        loose = StochasticConsolidation(tail_overlap_factor=1.0).plan(context)
+        assert (
+            tight.segments[0].placement.active_host_count
+            <= loose.segments[0].placement.active_host_count
+        )
+
+    def test_respects_constraints(self, small_pool):
+        context = _bursty_context(small_pool)
+        constrained = PlanningContext(
+            history=context.history,
+            evaluation=context.evaluation,
+            datacenter=small_pool,
+            constraints=ConstraintSet([AntiColocate("vm0", "vm1")]),
+        )
+        placement = (
+            StochasticConsolidation()
+            .plan(constrained)
+            .segments[0]
+            .placement
+        )
+        assert placement.host_of("vm0") != placement.host_of("vm1")
+
+    def test_single_static_segment(self, small_pool):
+        context = _bursty_context(small_pool)
+        schedule = StochasticConsolidation().plan(context)
+        assert len(schedule) == 1
+        assert schedule.total_migrations() == 0

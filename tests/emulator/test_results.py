@@ -1,0 +1,171 @@
+"""Tests for the emulation result metrics (Figs. 7-12 machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.emulator.results import EmulationResult
+from repro.emulator.schedule import PlacementSchedule
+from repro.exceptions import EmulationError
+from repro.infrastructure.costs import PowerCostModel, SpaceCostModel
+from repro.placement.plan import Placement
+
+
+def _result(
+    cpu_demand,
+    memory_demand=None,
+    active=None,
+    cpu_capacity=None,
+    memory_capacity=None,
+):
+    cpu_demand = np.asarray(cpu_demand, dtype=float)
+    n_hosts, n_hours = cpu_demand.shape
+    if memory_demand is None:
+        memory_demand = np.ones_like(cpu_demand)
+    if active is None:
+        active = np.ones_like(cpu_demand, dtype=bool)
+    if cpu_capacity is None:
+        cpu_capacity = np.full(n_hosts, 100.0)
+    if memory_capacity is None:
+        memory_capacity = np.full(n_hosts, 10.0)
+    power = np.where(active, 50.0, 0.0)
+    return EmulationResult(
+        scheme="t",
+        workload="w",
+        host_ids=tuple(f"h{i}" for i in range(n_hosts)),
+        cpu_capacity=np.asarray(cpu_capacity, dtype=float),
+        memory_capacity=np.asarray(memory_capacity, dtype=float),
+        cpu_demand=cpu_demand,
+        memory_demand=np.asarray(memory_demand, dtype=float),
+        active=np.asarray(active, dtype=bool),
+        power_watts=power,
+        schedule=PlacementSchedule.static(Placement({"a": "h0"}), n_hours),
+    )
+
+
+class TestCosts:
+    def test_space_cost_uses_provisioned_servers(self):
+        result = _result(np.zeros((3, 4)))
+        model = SpaceCostModel(
+            server_cost=10.0, rack_cost=0.0, floor_cost_per_rack=0.0
+        )
+        assert result.space_cost(model) == 30.0
+
+    def test_energy_kwh(self):
+        result = _result(np.zeros((2, 4)))
+        # 2 hosts * 4 hours * 50 W = 400 Wh = 0.4 kWh.
+        assert result.energy_kwh == pytest.approx(0.4)
+        assert result.power_cost(PowerCostModel(price_per_kwh=1.0, pue=1.0)) == (
+            pytest.approx(0.4)
+        )
+
+
+class TestUtilizationCdfs:
+    def test_average_utilization_over_active_hours(self):
+        active = np.array([[True, True, False, False]])
+        result = _result(np.array([[50.0, 30.0, 0.0, 0.0]]), active=active)
+        cdf = result.average_utilization_cdf()
+        # Mean over the two active hours: (0.5 + 0.3) / 2.
+        assert cdf.sorted_values[0] == pytest.approx(0.4)
+
+    def test_peak_utilization_can_exceed_one(self):
+        result = _result(np.array([[150.0, 10.0]]))
+        cdf = result.peak_utilization_cdf()
+        assert cdf.sorted_values[0] == pytest.approx(1.5)
+        assert cdf.fraction_above(1.0) == 1.0
+
+
+class TestContention:
+    def test_no_contention_when_under_capacity(self):
+        result = _result(np.full((2, 4), 80.0))
+        assert result.contention_time_fraction() == 0.0
+        assert result.cpu_contention_cdf() is None
+
+    def test_contention_fraction_counts_server_hours(self):
+        demand = np.array([[120.0, 80.0, 80.0, 80.0],
+                           [80.0, 80.0, 80.0, 80.0]])
+        result = _result(demand)
+        # 1 contended server-hour of 8 total.
+        assert result.contention_time_fraction() == pytest.approx(1 / 8)
+
+    def test_contention_magnitude(self):
+        result = _result(np.array([[150.0, 80.0]]))
+        cdf = result.cpu_contention_cdf()
+        assert cdf is not None
+        assert cdf.sorted_values[0] == pytest.approx(0.5)
+
+    def test_memory_contention_counted(self):
+        result = _result(
+            np.full((1, 2), 10.0),
+            memory_demand=np.array([[12.0, 5.0]]),
+        )
+        assert result.contention_time_fraction() == pytest.approx(0.5)
+
+
+class TestDynamism:
+    def test_active_fraction_series(self):
+        active = np.array([[True, True], [True, False]])
+        result = _result(np.zeros((2, 2)), active=active)
+        assert list(result.active_fraction_series()) == [1.0, 0.5]
+        assert result.active_fraction_cdf().median == pytest.approx(0.75)
+
+    def test_summary_keys(self):
+        summary = _result(np.zeros((1, 2))).summary()
+        assert {
+            "scheme",
+            "workload",
+            "provisioned_servers",
+            "energy_kwh",
+            "contention_time_fraction",
+            "total_migrations",
+        } <= set(summary)
+
+
+class TestMigrationVolume:
+    def test_no_transitions_in_static_schedule(self):
+        result = _result(np.zeros((1, 4)))
+        assert result.migrations_per_interval().size == 0
+        assert result.mean_migration_fraction() == 0.0
+
+    def test_fraction_counts_moved_vms(self):
+        from repro.emulator.schedule import PlacementSchedule
+
+        placements = [
+            Placement({"a": "h0", "b": "h0", "c": "h0", "d": "h0"}),
+            Placement({"a": "h1", "b": "h0", "c": "h0", "d": "h0"}),
+            Placement({"a": "h1", "b": "h1", "c": "h1", "d": "h0"}),
+        ]
+        schedule = PlacementSchedule.periodic(placements, 2.0)
+        base = _result(np.zeros((2, 6)))
+        result = EmulationResult(
+            scheme=base.scheme,
+            workload=base.workload,
+            host_ids=base.host_ids,
+            cpu_capacity=base.cpu_capacity,
+            memory_capacity=base.memory_capacity,
+            cpu_demand=base.cpu_demand,
+            memory_demand=base.memory_demand,
+            active=base.active,
+            power_watts=base.power_watts,
+            schedule=schedule,
+        )
+        # Transition 1 moves a; transition 2 moves b and c (a stays put).
+        assert list(result.migrations_per_interval()) == [1, 2]
+        # (1 + 2) / 2 transitions / 4 VMs = 0.375.
+        assert result.mean_migration_fraction() == pytest.approx(0.375)
+
+
+class TestValidation:
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(EmulationError):
+            EmulationResult(
+                scheme="t",
+                workload="w",
+                host_ids=("h0",),
+                cpu_capacity=np.array([100.0]),
+                memory_capacity=np.array([10.0, 10.0]),  # wrong length
+                cpu_demand=np.zeros((1, 2)),
+                memory_demand=np.zeros((1, 2)),
+                active=np.ones((1, 2), dtype=bool),
+                power_watts=np.zeros((1, 2)),
+                schedule=PlacementSchedule.static(Placement({"a": "h0"}), 2),
+            )

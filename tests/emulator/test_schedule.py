@@ -1,0 +1,62 @@
+"""Tests for placement schedules."""
+
+import pytest
+
+from repro.emulator.schedule import PlacementSchedule, ScheduledPlacement
+from repro.exceptions import EmulationError
+from repro.placement.plan import Placement
+
+
+class TestScheduledPlacement:
+    def test_duration(self):
+        segment = ScheduledPlacement(
+            Placement({"a": "h1"}), start_hour=0, end_hour=2
+        )
+        assert segment.duration_hours == 2
+
+    def test_empty_segment_rejected(self):
+        with pytest.raises(EmulationError):
+            ScheduledPlacement(Placement({"a": "h1"}), 2, 2)
+
+
+class TestPlacementSchedule:
+    def test_static_covers_window(self):
+        schedule = PlacementSchedule.static(Placement({"a": "h1"}), 336)
+        assert len(schedule) == 1
+        assert schedule.start_hour == 0
+        assert schedule.end_hour == 336
+        assert schedule.duration_hours == 336
+
+    def test_periodic_tiles_exactly(self):
+        placements = [Placement({"a": "h1"}) for _ in range(4)]
+        schedule = PlacementSchedule.periodic(placements, 2.0)
+        assert len(schedule) == 4
+        assert schedule.end_hour == 8.0
+        starts = [s.start_hour for s in schedule]
+        assert starts == [0.0, 2.0, 4.0, 6.0]
+
+    def test_gap_rejected(self):
+        with pytest.raises(EmulationError, match="gap"):
+            PlacementSchedule(
+                segments=(
+                    ScheduledPlacement(Placement({"a": "h1"}), 0, 2),
+                    ScheduledPlacement(Placement({"a": "h1"}), 3, 4),
+                )
+            )
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(EmulationError):
+            PlacementSchedule(segments=())
+
+    def test_total_migrations(self):
+        placements = [
+            Placement({"a": "h1", "b": "h1"}),
+            Placement({"a": "h2", "b": "h1"}),  # a moves
+            Placement({"a": "h2", "b": "h2"}),  # b moves
+        ]
+        schedule = PlacementSchedule.periodic(placements, 2.0)
+        assert schedule.total_migrations() == 2
+
+    def test_static_has_no_migrations(self):
+        schedule = PlacementSchedule.static(Placement({"a": "h1"}), 10)
+        assert schedule.total_migrations() == 0

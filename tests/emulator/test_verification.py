@@ -1,0 +1,73 @@
+"""Tests for the emulator verification harness (paper §5.2)."""
+
+import pytest
+
+from repro.emulator.verification import (
+    DAXPY_MODEL,
+    RUBIS_MODEL,
+    WorkloadResourceModel,
+    verify_emulator_accuracy,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestResourceModels:
+    def test_rubis_inversion_quantizes(self):
+        intensity = RUBIS_MODEL.intensity_for_cpu(0.5)
+        assert intensity == round(intensity)
+
+    def test_daxpy_inversion_continuous(self):
+        intensity = DAXPY_MODEL.intensity_for_cpu(0.5)
+        # Exact inversion for the linear kernel.
+        assert DAXPY_MODEL.cpu_at(intensity) == pytest.approx(0.5)
+
+    def test_inversion_capped_at_max_intensity(self):
+        assert RUBIS_MODEL.intensity_for_cpu(10.0) == RUBIS_MODEL.max_intensity
+
+    def test_monotone_curves(self):
+        for model in (RUBIS_MODEL, DAXPY_MODEL):
+            assert model.cpu_at(20) > model.cpu_at(10)
+            assert model.memory_at(20) > model.memory_at(10)
+
+    def test_model_validation(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadResourceModel(
+                name="bad", cpu_per_unit=0.0, cpu_exponent=1.0,
+                memory_per_unit=1.0, memory_exponent=1.0,
+                integral_intensity=False, control_noise_sigma=0.01,
+                max_intensity=10.0,
+            )
+
+
+class TestVerification:
+    def test_paper_error_bounds(self):
+        # "99 percentile error bound ... is 5% for RuBIS and 2% for daxpy".
+        rubis = verify_emulator_accuracy(RUBIS_MODEL)
+        daxpy = verify_emulator_accuracy(DAXPY_MODEL)
+        assert rubis.within(0.05)
+        assert daxpy.within(0.02)
+
+    def test_interactive_workload_noisier(self):
+        rubis = verify_emulator_accuracy(RUBIS_MODEL)
+        daxpy = verify_emulator_accuracy(DAXPY_MODEL)
+        assert rubis.p99_error > daxpy.p99_error
+
+    def test_error_statistics_ordered(self):
+        report = verify_emulator_accuracy(RUBIS_MODEL, n_points=500)
+        assert (
+            report.mean_error
+            <= report.p95_error
+            <= report.p99_error
+            <= report.max_error
+        )
+
+    def test_deterministic_given_seed(self):
+        a = verify_emulator_accuracy(RUBIS_MODEL, seed=4, n_points=300)
+        b = verify_emulator_accuracy(RUBIS_MODEL, seed=4, n_points=300)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            verify_emulator_accuracy(RUBIS_MODEL, n_points=0)
+        with pytest.raises(ConfigurationError):
+            verify_emulator_accuracy(RUBIS_MODEL, cpu_range=(0.5, 0.2))

@@ -1,0 +1,83 @@
+"""Tests for the ablation study functions."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablations import (
+    PREDICTOR_LADDER,
+    generate_uncorrelated_datacenter,
+    run_predictor_ablation,
+    run_tail_overlap_ablation,
+)
+from repro.experiments.settings import ExperimentSettings
+from repro.workloads import generate_datacenter
+
+_FAST = ExperimentSettings(scale=0.05)
+
+
+class TestUncorrelatedGenerator:
+    def test_same_shape_as_preset(self):
+        plain = generate_uncorrelated_datacenter("banking", scale=0.05)
+        preset = generate_datacenter("banking", scale=0.05)
+        assert len(plain) == len(preset)
+        assert plain.n_points == preset.n_points
+
+    def test_actually_less_correlated(self):
+        plain = generate_uncorrelated_datacenter("banking", scale=0.08)
+        preset = generate_datacenter("banking", scale=0.08)
+
+        def mean_corr(ts):
+            corr = np.corrcoef(ts.cpu_rpe2_matrix())
+            return float(np.nanmean(corr[np.triu_indices_from(corr, k=1)]))
+
+        assert mean_corr(plain) < mean_corr(preset)
+
+
+class TestPredictorAblation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_predictor_ablation("banking", _FAST)
+
+    def test_all_ladder_rungs_present(self, results):
+        assert set(results) == {label for label, _ in PREDICTOR_LADDER}
+
+    def test_oracle_contention_free(self, results):
+        assert results["oracle"].contention_time_fraction() == 0.0
+
+    def test_conservative_predictor_less_contention(self, results):
+        assert (
+            results["periodic-7d"].contention_time_fraction()
+            <= results["last-interval"].contention_time_fraction()
+        )
+
+    def test_conservative_predictor_more_servers(self, results):
+        assert (
+            results["periodic-7d"].provisioned_servers
+            >= results["oracle"].provisioned_servers
+        )
+
+
+class TestTailOverlapAblation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_tail_overlap_ablation(
+            "banking", _FAST, overlaps=(0.0, 0.55, 1.0)
+        )
+
+    def test_vanilla_reference_present(self, results):
+        assert "vanilla" in results
+
+    def test_servers_monotone_in_overlap(self, results):
+        assert (
+            results["overlap=0.00"].provisioned_servers
+            <= results["overlap=0.55"].provisioned_servers
+            <= results["overlap=1.00"].provisioned_servers
+        )
+
+    def test_full_overlap_close_to_vanilla(self, results):
+        # overlap=1 reserves body+tail == max per VM: same totals as
+        # vanilla max sizing, so host counts must be near-identical.
+        assert abs(
+            results["overlap=1.00"].provisioned_servers
+            - results["vanilla"].provisioned_servers
+        ) <= 1

@@ -1,0 +1,55 @@
+"""Tests for the Section-5 comparison harness."""
+
+import pytest
+
+from repro.experiments.comparison import (
+    SCHEME_DYNAMIC,
+    SCHEME_STOCHASTIC,
+    SCHEME_VANILLA,
+    default_algorithms,
+    run_comparison,
+)
+from repro.experiments.settings import ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_comparison("banking", ExperimentSettings(scale=0.08))
+
+
+class TestRunComparison:
+    def test_all_three_schemes_present(self, comparison):
+        assert set(comparison.results) == {
+            SCHEME_VANILLA,
+            SCHEME_STOCHASTIC,
+            SCHEME_DYNAMIC,
+        }
+
+    def test_normalization_baseline_is_one(self, comparison):
+        space = comparison.normalized_space_cost()
+        power = comparison.normalized_power_cost()
+        assert space[SCHEME_VANILLA] == pytest.approx(1.0)
+        assert power[SCHEME_VANILLA] == pytest.approx(1.0)
+
+    def test_semistatic_variants_never_migrate(self, comparison):
+        assert comparison.results[SCHEME_VANILLA].total_migrations() == 0
+        assert comparison.results[SCHEME_STOCHASTIC].total_migrations() == 0
+
+    def test_dynamic_migrates(self, comparison):
+        assert comparison.results[SCHEME_DYNAMIC].total_migrations() > 0
+
+    def test_summary_rows_complete(self, comparison):
+        rows = comparison.summary_rows()
+        assert len(rows) == 3
+        for row in rows:
+            assert row["workload"] == "banking"
+            assert row["servers"] >= 1
+
+    def test_default_algorithm_names(self):
+        names = [a.name for a in default_algorithms()]
+        assert names == [SCHEME_VANILLA, SCHEME_STOCHASTIC, SCHEME_DYNAMIC]
+
+    def test_emulation_window_matches_table3(self, comparison):
+        result = comparison.results[SCHEME_DYNAMIC]
+        assert result.n_hours == 14 * 24
+        assert len(result.schedule) == 168

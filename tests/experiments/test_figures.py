@@ -1,0 +1,99 @@
+"""Tests for the figure registry and runners.
+
+Figure runners are exercised at a very small scale — these tests check
+report structure and dispatch, not calibration (that is
+test_paper_targets.py's job).
+"""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.figures import FIGURES, list_figures, run_figure
+from repro.experiments.settings import ExperimentSettings
+
+_FAST = ExperimentSettings(scale=0.05)
+
+
+class TestRegistry:
+    def test_every_paper_artifact_registered(self):
+        expected = {"table2", "fig1", "obs4", "olio"} | {
+            f"fig{i}" for i in range(2, 17)
+        }
+        assert expected <= set(list_figures())
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown figure"):
+            run_figure("fig99")
+
+    def test_case_insensitive(self):
+        report = run_figure("TABLE2", _FAST)
+        assert "Table 2" in report
+
+
+class TestTraceAnalysisFigures:
+    def test_fig1_mentions_samples(self):
+        report = run_figure("fig1", _FAST)
+        assert "avg_util" in report
+        assert "Banking" in report
+
+    @pytest.mark.parametrize("fig", ["fig2", "fig3", "fig4", "fig5"])
+    def test_burstiness_figures_cover_all_dcs(self, fig):
+        report = run_figure(fig, _FAST)
+        for key in ("banking", "airlines", "natural-resources", "beverage"):
+            assert key in report
+
+    def test_fig6_reports_constrained_fraction(self):
+        report = run_figure("fig6", _FAST)
+        assert "memory-constrained fraction" in report
+        assert "160" in report
+
+    def test_olio_reports_paper_factors(self):
+        report = run_figure("olio", _FAST)
+        assert "7.9x" in report
+        assert "3.0x memory" in report or "3x" in report
+
+
+class TestMigrationFigure:
+    def test_obs4_reports_reservation(self):
+        report = run_figure("obs4", _FAST)
+        assert "Recommended reservation" in report
+        assert "20%" in report
+
+
+class TestComparisonFigures:
+    @pytest.fixture(scope="class")
+    def fig7_report(self):
+        return run_figure("fig7", _FAST)
+
+    def test_fig7_has_all_schemes(self, fig7_report):
+        for scheme in ("semi-static", "stochastic", "dynamic"):
+            assert scheme in fig7_report
+
+    def test_fig12_mentions_active_fraction(self):
+        report = run_figure("fig12", _FAST)
+        assert "active-server fraction" in report
+
+
+class TestSensitivityFigures:
+    def test_fig13_sweeps_bounds(self):
+        report = run_figure("fig13", _FAST)
+        assert "0.70" in report
+        assert "1.00" in report
+        assert "stochastic" in report
+
+
+class TestExtensionFigures:
+    def test_intervals_registered(self):
+        report = run_figure("intervals", _FAST)
+        assert "Interval-length study" in report
+        assert "migrations" in report
+
+    def test_migration_ladder_registered(self):
+        report = run_figure("migration-ladder", _FAST)
+        assert "baseline-1gbe" in report
+        assert "rdma" in report
+
+    def test_verify_emulator_registered(self):
+        report = run_figure("verify-emulator", _FAST)
+        assert "rubis" in report
+        assert "daxpy" in report

@@ -1,0 +1,52 @@
+"""Tests for report formatting."""
+
+import numpy as np
+
+from repro.analysis.cdf import EmpiricalCDF
+from repro.experiments.formatting import format_cdf, format_mapping, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(
+            ["name", "value"], [("a", 1), ("longer-name", 22)]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        # All rows padded to the same width.
+        assert len(set(map(len, lines))) == 1
+
+    def test_header_and_separator(self):
+        table = format_table(["x"], [(1,)])
+        lines = table.splitlines()
+        assert lines[0].strip() == "x"
+        assert set(lines[1].strip()) == {"-"}
+
+    def test_float_rendering(self):
+        table = format_table(
+            ["v"], [(0.12345,), (1.5,), (250.0,), (0.0,)]
+        )
+        body = table.splitlines()[2:]
+        assert body[0].strip() == "0.1235"  # small floats: 4 decimals
+        assert body[1].strip() == "1.50"    # mid floats: 2 decimals
+        assert body[2].strip() == "250"     # large floats: integral
+        assert body[3].strip() == "0"
+
+    def test_empty_rows(self):
+        table = format_table(["a", "b"], [])
+        assert len(table.splitlines()) == 2
+
+
+class TestFormatCdf:
+    def test_tabulation(self):
+        cdf = EmpiricalCDF(np.array([1.0, 2.0, 3.0, 4.0]))
+        line = format_cdf("series", cdf, [2.0, 4.0])
+        assert line.startswith("series:")
+        assert "F(2.00)=0.50" in line
+        assert "F(4.00)=1.00" in line
+
+
+class TestFormatMapping:
+    def test_one_line(self):
+        line = format_mapping("costs", {"a": 1.0, "b": 0.5}, digits=2)
+        assert line == "costs: a=1.00  b=0.50"

@@ -1,0 +1,40 @@
+"""Tests for the consolidation-interval study (paper §7)."""
+
+import pytest
+
+from repro.experiments.intervals import run_interval_study
+from repro.experiments.settings import ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def study():
+    return run_interval_study(
+        "banking",
+        ExperimentSettings(scale=0.06),
+        intervals_hours=(1.0, 2.0, 4.0, 8.0),
+    )
+
+
+class TestIntervalStudy:
+    def test_one_point_per_interval(self, study):
+        assert [p.interval_hours for p in study] == [1.0, 2.0, 4.0, 8.0]
+
+    def test_shorter_intervals_do_not_need_more_servers(self, study):
+        servers = [p.provisioned_servers for p in study]
+        # Finer sizing can only help the footprint (paper §7's claim).
+        assert servers[0] <= servers[-1]
+
+    def test_shorter_intervals_save_energy(self, study):
+        assert study[0].energy_kwh <= study[-1].energy_kwh
+
+    def test_shorter_intervals_cost_migrations(self, study):
+        migrations = [p.total_migrations for p in study]
+        assert migrations[0] >= migrations[-1]
+
+    def test_active_fraction_rises_with_interval(self, study):
+        # Coarser intervals must provision for longer windows, keeping
+        # more hosts on.
+        assert (
+            study[0].mean_active_fraction
+            <= study[-1].mean_active_fraction + 0.05
+        )

@@ -1,0 +1,99 @@
+"""Tests for the static vs semi-static multi-period study."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.multiperiod import (
+    apply_seasonal_drift,
+    run_multiperiod,
+)
+from repro.experiments.settings import ExperimentSettings
+from repro.workloads import generate_datacenter
+
+
+class TestSeasonalDrift:
+    def test_mean_preserving_over_full_cycle(self):
+        ts = generate_datacenter("airlines", scale=0.05, days=8)
+        drifted = apply_seasonal_drift(ts, amplitude=0.3, period_days=8)
+        original = ts.aggregate_cpu_rpe2().mean()
+        shifted = drifted.aggregate_cpu_rpe2().mean()
+        assert shifted == pytest.approx(original, rel=0.05)
+
+    def test_amplitude_zero_is_identity(self):
+        ts = generate_datacenter("airlines", scale=0.05, days=4)
+        same = apply_seasonal_drift(ts, amplitude=0.0)
+        assert np.allclose(
+            same.cpu_rpe2_matrix(), ts.cpu_rpe2_matrix()
+        )
+
+    def test_memory_swings_half_as_much(self):
+        ts = generate_datacenter("airlines", scale=0.05, days=8)
+        drifted = apply_seasonal_drift(ts, amplitude=0.4, period_days=8)
+        cpu_swing = (
+            drifted.aggregate_cpu_rpe2() / ts.aggregate_cpu_rpe2()
+        )
+        memory_swing = (
+            drifted.aggregate_memory_gb() / ts.aggregate_memory_gb()
+        )
+        assert (memory_swing.max() - 1.0) < (cpu_swing.max() - 1.0)
+
+    def test_validation(self):
+        ts = generate_datacenter("airlines", scale=0.05, days=4)
+        with pytest.raises(ConfigurationError):
+            apply_seasonal_drift(ts, amplitude=1.0)
+        with pytest.raises(ConfigurationError):
+            apply_seasonal_drift(ts, period_days=0)
+
+
+class TestMultiPeriod:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_multiperiod(
+            "beverage",
+            ExperimentSettings(scale=0.06),
+            n_periods=3,
+            period_days=7,
+        )
+
+    def test_semi_static_never_worse_than_static(self, result):
+        assert all(
+            servers <= result.static_servers
+            for servers in result.semi_static_servers_per_period
+        )
+
+    def test_semi_static_saves_energy(self, result):
+        assert result.energy_saving > 0
+
+    def test_per_period_counts_vary_with_season(self, result):
+        # If all periods need the same count the seasonal overlay did
+        # nothing and the study is vacuous.
+        assert len(set(result.semi_static_servers_per_period)) > 1
+
+    def test_schedules_cover_whole_horizon(self, result):
+        horizon = result.n_periods * result.period_days * 24
+        assert result.static.n_hours == horizon
+        assert result.semi_static.n_hours == horizon
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_multiperiod(
+                "beverage", ExperimentSettings(scale=0.05), n_periods=1
+            )
+
+    def test_dynamic_tier_optional(self, result):
+        assert result.dynamic is None
+
+    def test_dynamic_tier_included_on_request(self):
+        full = run_multiperiod(
+            "beverage",
+            ExperimentSettings(scale=0.05),
+            n_periods=2,
+            period_days=7,
+            include_dynamic=True,
+        )
+        assert full.dynamic is not None
+        assert full.dynamic.total_migrations() > 0
+        # Dynamic rides the season at 2 h grain: energy at or below the
+        # weekly semi-static re-plan.
+        assert full.dynamic.energy_kwh <= full.semi_static.energy_kwh * 1.05

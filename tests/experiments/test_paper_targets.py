@@ -1,0 +1,203 @@
+"""Calibration tests: the generated workloads and experiment results must
+stay inside the paper's published bands.
+
+These are the reproduction's regression net.  Each assertion corresponds
+to a specific claim in the paper (see repro/experiments/paper_targets.py
+for citations); if generator or algorithm changes drift outside a band,
+the reproduction has broken even if all unit tests still pass.
+
+Scale 0.2 keeps the whole module under ~20 s while the CDF statistics
+stay stable (hundreds of servers per datacenter).
+"""
+
+import pytest
+
+from repro.analysis import analyze_burstiness, analyze_resource_ratio
+from repro.experiments import paper_targets as targets
+from repro.experiments.comparison import (
+    SCHEME_DYNAMIC,
+    SCHEME_STOCHASTIC,
+    SCHEME_VANILLA,
+    run_comparison,
+)
+from repro.experiments.settings import ExperimentSettings
+from repro.workloads.datacenters import ALL_DATACENTERS, generate_datacenter
+
+_SCALE = 0.2
+
+pytestmark = pytest.mark.calibration
+
+
+@pytest.fixture(scope="module")
+def trace_sets():
+    return {
+        config.key: generate_datacenter(config.key, scale=_SCALE)
+        for config in ALL_DATACENTERS
+    }
+
+
+@pytest.fixture(scope="module")
+def burstiness(trace_sets):
+    return {
+        key: analyze_burstiness(ts, intervals_hours=(1.0,))
+        for key, ts in trace_sets.items()
+    }
+
+
+@pytest.fixture(scope="module")
+def comparisons(trace_sets):
+    settings = ExperimentSettings(scale=_SCALE)
+    return {
+        key: run_comparison(key, settings, trace_set=ts)
+        for key, ts in trace_sets.items()
+    }
+
+
+def _assert_in_band(value, band, label):
+    low, high = band
+    assert low <= value <= high, (
+        f"{label}: {value:.3f} outside paper band [{low}, {high}]"
+    )
+
+
+class TestTable2:
+    def test_mean_cpu_utilization(self, trace_sets):
+        for key, band in targets.MEAN_CPU_UTILIZATION.items():
+            _assert_in_band(
+                trace_sets[key].mean_cpu_utilization(),
+                band,
+                f"{key} mean CPU util",
+            )
+
+
+class TestObservation1CpuBurstiness:
+    def test_p2a_median(self, burstiness):
+        for key, band in targets.CPU_P2A_MEDIAN_1H.items():
+            _assert_in_band(
+                burstiness[key].median_p2a("cpu", 1.0),
+                band,
+                f"{key} CPU P2A median",
+            )
+
+    def test_heavy_tailed_fraction(self, burstiness):
+        for key, band in targets.CPU_COV_HEAVY_TAILED_FRACTION.items():
+            _assert_in_band(
+                burstiness[key].cov["cpu"].fraction_above(1.0),
+                band,
+                f"{key} CPU CoV>=1 fraction",
+            )
+
+    def test_banking_is_burstiest(self, burstiness):
+        banking = burstiness["banking"].median_p2a("cpu", 1.0)
+        for other in ("airlines", "natural-resources"):
+            assert banking > burstiness[other].median_p2a("cpu", 1.0)
+
+
+class TestObservation2MemoryBurstiness:
+    def test_memory_cov_fraction(self, burstiness):
+        for key, band in targets.MEMORY_COV_HEAVY_TAILED_FRACTION.items():
+            _assert_in_band(
+                burstiness[key].cov["memory"].fraction_above(1.0),
+                band,
+                f"{key} memory CoV>=1 fraction",
+            )
+
+    def test_memory_p2a_below_1_5(self, burstiness):
+        for key, band in targets.MEMORY_P2A_LE_1_5_FRACTION.items():
+            _assert_in_band(
+                burstiness[key].peak_to_average[("memory", 1.0)].at(1.5),
+                band,
+                f"{key} memory P2A<=1.5 fraction",
+            )
+
+    def test_memory_order_of_magnitude_less_bursty(self, burstiness):
+        for key, report in burstiness.items():
+            cpu = report.median_p2a("cpu", 1.0) - 1.0
+            memory = report.median_p2a("memory", 1.0) - 1.0
+            assert memory < cpu / 3, key
+
+
+class TestObservation3MemoryConstrained:
+    def test_memory_constrained_fraction(self, trace_sets):
+        for key, band in targets.MEMORY_CONSTRAINED_FRACTION.items():
+            report = analyze_resource_ratio(trace_sets[key])
+            _assert_in_band(
+                report.fraction_memory_constrained,
+                band,
+                f"{key} memory-constrained fraction",
+            )
+
+    def test_cpu_intensity_ordering(self, trace_sets):
+        # Paper §4.2: Banking > Beverage > NatRes > Airlines.
+        medians = {
+            key: analyze_resource_ratio(ts).median_ratio
+            for key, ts in trace_sets.items()
+        }
+        assert (
+            medians["banking"]
+            > medians["beverage"]
+            > medians["airlines"]
+        )
+        assert medians["natural-resources"] > medians["airlines"]
+
+
+class TestFigure7:
+    def test_stochastic_beats_vanilla_in_space(self, comparisons):
+        for key, band in targets.STOCHASTIC_SPACE_VS_VANILLA.items():
+            space = comparisons[key].normalized_space_cost()
+            _assert_in_band(
+                space[SCHEME_STOCHASTIC], band, f"{key} stochastic space"
+            )
+
+    def test_stochastic_not_worse_than_dynamic_in_space(self, comparisons):
+        slack = targets.SPACE_ORDERING[
+            "stochastic_not_worse_than_dynamic_slack"
+        ]
+        for key, comparison in comparisons.items():
+            space = comparison.normalized_space_cost()
+            assert space[SCHEME_STOCHASTIC] <= (
+                space[SCHEME_DYNAMIC] + slack
+            ), key
+
+    def test_dynamic_beats_vanilla_except_airlines(self, comparisons):
+        exceptions = targets.SPACE_ORDERING["dynamic_beats_vanilla_except"]
+        for key, comparison in comparisons.items():
+            space = comparison.normalized_space_cost()
+            if key in exceptions:
+                assert space[SCHEME_DYNAMIC] >= 1.0, key
+            else:
+                assert space[SCHEME_DYNAMIC] <= 1.0, key
+
+    def test_dynamic_power_vs_stochastic(self, comparisons):
+        for key, band in targets.DYNAMIC_POWER_VS_STOCHASTIC.items():
+            power = comparisons[key].normalized_power_cost()
+            ratio = power[SCHEME_DYNAMIC] / power[SCHEME_STOCHASTIC]
+            _assert_in_band(ratio, band, f"{key} dynamic/stochastic power")
+
+
+class TestFigures8And12:
+    def test_contention_concentrated_in_bursty_dynamic(self, comparisons):
+        # Banking dynamic has the most contention of all combinations.
+        banking_dynamic = comparisons["banking"].contention_fractions()[
+            SCHEME_DYNAMIC
+        ]
+        for key, comparison in comparisons.items():
+            for scheme, value in comparison.contention_fractions().items():
+                if (key, scheme) != ("banking", SCHEME_DYNAMIC):
+                    assert value <= banking_dynamic + 1e-9, (key, scheme)
+
+    def test_semistatic_has_negligible_contention(self, comparisons):
+        for key, comparison in comparisons.items():
+            contention = comparison.contention_fractions()[SCHEME_VANILLA]
+            assert contention < 0.01, key
+
+    def test_bursty_workloads_show_dynamism(self, comparisons):
+        # Fig. 12: Banking and Beverage switch off a sizable share of
+        # servers in quiet intervals; Airlines stays flat.
+        for key in ("banking", "beverage"):
+            active = (
+                comparisons[key].dynamic().active_fraction_series()
+            )
+            assert active.min() < 0.8, key
+        airlines = comparisons["airlines"].dynamic()
+        assert airlines.active_fraction_series().mean() > 0.9

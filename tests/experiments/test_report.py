@@ -1,0 +1,48 @@
+"""Tests for the full-reproduction report generator."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.report import DEFAULT_REPORT_ORDER, generate_report
+from repro.experiments.settings import ExperimentSettings
+
+
+class TestReportGenerator:
+    def test_default_order_covers_registry_figures(self):
+        # Every paper artifact appears exactly once, in paper order.
+        assert DEFAULT_REPORT_ORDER[0] == "table2"
+        assert "fig7" in DEFAULT_REPORT_ORDER
+        assert len(set(DEFAULT_REPORT_ORDER)) == len(DEFAULT_REPORT_ORDER)
+
+    def test_subset_report(self):
+        report = generate_report(
+            ExperimentSettings(scale=0.05), figures=["olio", "obs4"]
+        )
+        assert "## olio" in report
+        assert "## obs4" in report
+        assert "## fig7" not in report
+        assert "datacenter scale: 0.05" in report
+
+    def test_sections_wrapped_in_code_blocks(self):
+        report = generate_report(
+            ExperimentSettings(scale=0.05), figures=["olio"]
+        )
+        assert report.count("```text") == 1
+        assert report.count("```") == 2
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown figures"):
+            generate_report(
+                ExperimentSettings(scale=0.05), figures=["fig99"]
+            )
+
+    def test_cli_report_to_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "report.md"
+        assert main(
+            ["--scale", "0.05", "report", "--out", str(out),
+             "--figures", "olio"]
+        ) == 0
+        assert out.exists()
+        assert "## olio" in out.read_text()

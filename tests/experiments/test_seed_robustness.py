@@ -1,0 +1,69 @@
+"""Seed-robustness: the reproduction is not cherry-picked.
+
+The datacenter presets were calibrated against the paper's published
+statistics using fixed seeds; a reproduction that only works at those
+seeds would be curve-fitting noise.  This test regenerates every
+datacenter with alternative seeds and checks that all Section-4 bands
+still hold — the generator *parameters*, not the random draws, carry
+the calibration.
+"""
+
+import pytest
+
+from repro.analysis import analyze_burstiness, analyze_resource_ratio
+from repro.experiments import paper_targets as targets
+from repro.workloads import ALL_DATACENTERS, generate_datacenter
+
+pytestmark = pytest.mark.calibration
+
+_SCALE = 0.15
+
+
+@pytest.mark.parametrize("seed_offset", [101, 202])
+def test_section4_bands_hold_at_alternative_seeds(seed_offset):
+    failures = []
+    for config in ALL_DATACENTERS:
+        trace_set = generate_datacenter(
+            config.key, scale=_SCALE, seed=config.seed + seed_offset
+        )
+        burstiness = analyze_burstiness(trace_set, intervals_hours=(1.0,))
+        ratio = analyze_resource_ratio(trace_set)
+        checks = [
+            (
+                "mean util",
+                trace_set.mean_cpu_utilization(),
+                targets.MEAN_CPU_UTILIZATION[config.key],
+            ),
+            (
+                "cpu p2a median",
+                burstiness.median_p2a("cpu", 1.0),
+                targets.CPU_P2A_MEDIAN_1H[config.key],
+            ),
+            (
+                "cpu cov>=1",
+                burstiness.cov["cpu"].fraction_above(1.0),
+                targets.CPU_COV_HEAVY_TAILED_FRACTION[config.key],
+            ),
+            (
+                "mem p2a<=1.5",
+                burstiness.peak_to_average[("memory", 1.0)].at(1.5),
+                targets.MEMORY_P2A_LE_1_5_FRACTION[config.key],
+            ),
+            (
+                "mem cov>=1",
+                burstiness.cov["memory"].fraction_above(1.0),
+                targets.MEMORY_COV_HEAVY_TAILED_FRACTION[config.key],
+            ),
+            (
+                "memory-constrained",
+                ratio.fraction_memory_constrained,
+                targets.MEMORY_CONSTRAINED_FRACTION[config.key],
+            ),
+        ]
+        for name, value, (low, high) in checks:
+            if not low <= value <= high:
+                failures.append(
+                    f"{config.key}/{name}: {value:.3f} not in "
+                    f"[{low}, {high}]"
+                )
+    assert not failures, failures

@@ -1,0 +1,51 @@
+"""Tests for the utilization-bound sensitivity analysis (Figs. 13-16)."""
+
+import pytest
+
+from repro.experiments.sensitivity import run_sensitivity
+from repro.experiments.settings import ExperimentSettings
+
+
+@pytest.fixture(scope="module")
+def banking_sweep():
+    return run_sensitivity(
+        "banking",
+        ExperimentSettings(scale=0.08),
+        bounds=(0.7, 0.8, 0.9, 1.0),
+    )
+
+
+class TestSensitivity:
+    def test_dynamic_monotone_in_bound(self, banking_sweep):
+        servers = [
+            banking_sweep.dynamic_servers_by_bound[b]
+            for b in sorted(banking_sweep.dynamic_servers_by_bound)
+        ]
+        assert all(a >= b for a, b in zip(servers, servers[1:]))
+
+    def test_reference_lines_flat(self, banking_sweep):
+        rows = banking_sweep.rows()
+        assert len({r["semi_static_servers"] for r in rows}) == 1
+        assert len({r["stochastic_servers"] for r in rows}) == 1
+
+    def test_crossover_detection(self, banking_sweep):
+        crossover = banking_sweep.crossover_bound()
+        if crossover is not None:
+            assert (
+                banking_sweep.dynamic_servers_by_bound[crossover]
+                <= banking_sweep.stochastic_servers
+            )
+            # No smaller bound may already cross.
+            for bound, servers in banking_sweep.dynamic_servers_by_bound.items():
+                if bound < crossover:
+                    assert servers > banking_sweep.stochastic_servers
+
+    def test_improvement_at_full_bound(self, banking_sweep):
+        improvement = banking_sweep.improvement_at_full_bound()
+        full = banking_sweep.dynamic_servers_by_bound[1.0]
+        expected = 1.0 - full / banking_sweep.stochastic_servers
+        assert improvement == pytest.approx(expected)
+
+    def test_rows_sorted_by_bound(self, banking_sweep):
+        bounds = [r["utilization_bound"] for r in banking_sweep.rows()]
+        assert bounds == sorted(bounds)

@@ -1,0 +1,63 @@
+"""Tests for the Section-4 trace-analysis helpers."""
+
+import pytest
+
+from repro.experiments.traceanalysis import (
+    COV_GRID,
+    P2A_GRID,
+    RATIO_GRID,
+    burstiness_by_datacenter,
+    resource_ratio_by_datacenter,
+    sample_bursty_servers,
+    table2_summary,
+)
+from repro.workloads import generate_datacenter
+
+
+class TestFig1Samples:
+    def test_samples_show_the_papers_phenomenon(self):
+        samples = sample_bursty_servers(scale=0.1)
+        assert len(samples) == 2
+        for sample in samples:
+            assert sample.average < 0.10
+            assert sample.peak > 0.50
+            assert len(sample.hourly_util) == 7 * 24
+
+    def test_accepts_prebuilt_trace_set(self):
+        traces = generate_datacenter("banking", scale=0.1)
+        samples = sample_bursty_servers(traces, n_servers=3)
+        assert len(samples) == 3
+        ids = {s.vm_id for s in samples}
+        assert ids <= set(traces.vm_ids)
+
+
+class TestTable2:
+    def test_rows_cover_all_datacenters(self):
+        rows = table2_summary(scale=0.05, days=4)
+        assert [r["name"] for r in rows] == ["A", "B", "C", "D"]
+        for row in rows:
+            assert row["generated_servers"] > 0
+            assert 0 < row["measured_cpu_util"] < 1
+
+
+class TestSharedTraceSets:
+    def test_burstiness_accepts_external_traces(self):
+        traces = {"banking": generate_datacenter("banking", scale=0.05)}
+        reports = burstiness_by_datacenter(
+            scale=0.05, trace_sets=traces, intervals_hours=(1.0,)
+        )
+        assert set(reports) == {
+            "banking", "airlines", "natural-resources", "beverage"
+        }
+
+    def test_ratio_reports_reference(self):
+        reports = resource_ratio_by_datacenter(scale=0.05)
+        for report in reports.values():
+            assert report.reference_ratio == pytest.approx(160.0)
+
+
+class TestGrids:
+    def test_grids_monotone(self):
+        for grid in (P2A_GRID, COV_GRID, RATIO_GRID):
+            assert list(grid) == sorted(grid)
+            assert len(grid) >= 5

@@ -1,0 +1,57 @@
+"""Tests for the runtime paper-band validation."""
+
+import pytest
+
+from repro.experiments.validate import (
+    ValidationCheck,
+    ValidationReport,
+    validate_reproduction,
+)
+from repro.experiments.settings import ExperimentSettings
+
+
+class TestValidationCheck:
+    def test_verdicts(self):
+        inside = ValidationCheck("x", 0.5, (0.4, 0.6), "test")
+        below = ValidationCheck("x", 0.3, (0.4, 0.6), "test")
+        assert inside.passed
+        assert not below.passed
+        assert "OUT OF BAND" in below.describe()
+        assert "[ok]" in inside.describe()
+
+    def test_band_inclusive(self):
+        assert ValidationCheck("x", 0.4, (0.4, 0.6), "t").passed
+        assert ValidationCheck("x", 0.6, (0.4, 0.6), "t").passed
+
+
+class TestValidationReport:
+    def test_aggregation(self):
+        checks = (
+            ValidationCheck("a", 0.5, (0.0, 1.0), "t"),
+            ValidationCheck("b", 2.0, (0.0, 1.0), "t"),
+        )
+        report = ValidationReport(scale=0.1, checks=checks)
+        assert not report.passed
+        assert len(report.failures) == 1
+        assert "1/2 checks" in report.describe()
+
+
+class TestValidateReproduction:
+    def test_fast_validation_passes_at_calibration_scale(self):
+        # Trace-level + global checks: the generator calibration must
+        # satisfy the paper bands (the full comparison is exercised by
+        # test_paper_targets.py at module scale).
+        report = validate_reproduction(
+            ExperimentSettings(scale=0.15), include_comparison=False
+        )
+        assert report.passed, report.describe()
+        # 4 DCs x 6 trace checks + 3 global checks.
+        assert len(report.checks) == 27
+
+    def test_cli_exit_code(self, capsys):
+        from repro.cli import main
+
+        code = main(["--scale", "0.15", "validate", "--fast"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "checks inside the paper's bands" in out

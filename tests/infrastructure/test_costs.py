@@ -1,0 +1,62 @@
+"""Tests for the facilities cost models."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.costs import PowerCostModel, SpaceCostModel, normalize
+
+
+class TestSpaceCostModel:
+    def test_rack_count_rounds_up(self):
+        model = SpaceCostModel(hosts_per_rack=14)
+        assert model.racks_needed(0) == 0
+        assert model.racks_needed(1) == 1
+        assert model.racks_needed(14) == 1
+        assert model.racks_needed(15) == 2
+
+    def test_cost_components(self):
+        model = SpaceCostModel(
+            server_cost=10.0,
+            rack_cost=100.0,
+            floor_cost_per_rack=50.0,
+            hosts_per_rack=2,
+        )
+        # 3 servers -> 2 racks: 3*10 + 2*(100+50) = 330.
+        assert model.cost(3) == 330.0
+
+    def test_monotone_in_server_count(self):
+        model = SpaceCostModel()
+        costs = [model.cost(n) for n in range(1, 50)]
+        assert all(b > a for a, b in zip(costs, costs[1:]))
+
+    def test_negative_server_count_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SpaceCostModel().cost(-1)
+
+
+class TestPowerCostModel:
+    def test_pue_multiplies(self):
+        model = PowerCostModel(price_per_kwh=0.1, pue=2.0)
+        assert model.cost(100.0) == pytest.approx(20.0)
+
+    def test_pue_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerCostModel(pue=0.9)
+
+    def test_negative_energy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PowerCostModel().cost(-1.0)
+
+
+class TestNormalize:
+    def test_baseline_becomes_one(self):
+        out = normalize({"a": 50.0, "b": 100.0}, "b")
+        assert out == {"a": 0.5, "b": 1.0}
+
+    def test_missing_baseline(self):
+        with pytest.raises(ConfigurationError, match="baseline"):
+            normalize({"a": 1.0}, "b")
+
+    def test_zero_baseline(self):
+        with pytest.raises(ConfigurationError, match="zero"):
+            normalize({"a": 0.0}, "a")

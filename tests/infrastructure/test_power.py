@@ -1,0 +1,55 @@
+"""Tests for the linear power model."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.power import LinearPowerModel
+from repro.metrics.catalog import HS23_ELITE
+
+
+class TestLinearPowerModel:
+    def test_idle_and_peak_endpoints(self):
+        model = LinearPowerModel(idle_watts=100.0, peak_watts=300.0)
+        assert model.power_watts(0.0) == 100.0
+        assert model.power_watts(1.0) == 300.0
+
+    def test_linear_midpoint(self):
+        model = LinearPowerModel(idle_watts=100.0, peak_watts=300.0)
+        assert model.power_watts(0.5) == 200.0
+
+    def test_inactive_server_draws_nothing(self):
+        model = LinearPowerModel(idle_watts=100.0, peak_watts=300.0)
+        assert model.power_watts(0.5, active=False) == 0.0
+
+    def test_utilization_clipped(self):
+        model = LinearPowerModel(idle_watts=100.0, peak_watts=300.0)
+        # Contended demand cannot draw more than the loaded server.
+        assert model.power_watts(1.7) == 300.0
+        assert model.power_watts(-0.2) == 100.0
+
+    def test_vectorized_matches_scalar(self):
+        model = LinearPowerModel(idle_watts=100.0, peak_watts=300.0)
+        utils = np.array([0.0, 0.25, 0.5, 1.0, 1.5])
+        vector = model.power_watts_array(utils)
+        scalar = [model.power_watts(u) for u in utils]
+        assert np.allclose(vector, scalar)
+
+    def test_energy_kwh(self):
+        model = LinearPowerModel(idle_watts=100.0, peak_watts=300.0)
+        # Two hours at idle and one at peak: (100+100+300) * 1h = 0.5 kWh.
+        assert model.energy_kwh([0.0, 0.0, 1.0], 1.0) == pytest.approx(0.5)
+
+    def test_from_model(self):
+        model = LinearPowerModel.from_model(HS23_ELITE)
+        assert model.idle_watts == HS23_ELITE.idle_watts
+        assert model.peak_watts == HS23_ELITE.peak_watts
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            LinearPowerModel(idle_watts=-1.0, peak_watts=100.0)
+        with pytest.raises(ConfigurationError):
+            LinearPowerModel(idle_watts=200.0, peak_watts=100.0)
+        model = LinearPowerModel(idle_watts=1.0, peak_watts=2.0)
+        with pytest.raises(ConfigurationError):
+            model.energy_kwh([0.5], 0.0)

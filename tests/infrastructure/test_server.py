@@ -1,0 +1,58 @@
+"""Tests for server specs and physical servers."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.server import PhysicalServer, ServerSpec
+from repro.metrics.catalog import HS23_ELITE
+
+
+class TestServerSpec:
+    def test_from_model_copies_capacity(self):
+        spec = ServerSpec.from_model(HS23_ELITE)
+        assert spec.cpu_rpe2 == HS23_ELITE.cpu_rpe2
+        assert spec.memory_gb == HS23_ELITE.memory_gb
+        assert spec.model_name == "hs23-elite"
+
+    def test_cpu_memory_ratio(self):
+        spec = ServerSpec(cpu_rpe2=1600.0, memory_gb=10.0)
+        assert spec.cpu_memory_ratio == 160.0
+
+    def test_scaled_preserves_ratio(self):
+        spec = ServerSpec(cpu_rpe2=1000.0, memory_gb=10.0)
+        scaled = spec.scaled(0.8)
+        assert scaled.cpu_rpe2 == pytest.approx(800.0)
+        assert scaled.memory_gb == pytest.approx(8.0)
+        assert scaled.cpu_memory_ratio == pytest.approx(spec.cpu_memory_ratio)
+
+    def test_scaled_rejects_nonpositive(self):
+        spec = ServerSpec(cpu_rpe2=1000.0, memory_gb=10.0)
+        with pytest.raises(ConfigurationError):
+            spec.scaled(0.0)
+
+    @pytest.mark.parametrize("cpu,mem", [(0, 1), (-1, 1), (1, 0), (1, -2)])
+    def test_invalid_capacity(self, cpu, mem):
+        with pytest.raises(ConfigurationError):
+            ServerSpec(cpu_rpe2=cpu, memory_gb=mem)
+
+
+class TestPhysicalServer:
+    def test_capacity_shortcuts(self):
+        host = PhysicalServer(
+            host_id="h1", spec=ServerSpec(cpu_rpe2=500.0, memory_gb=4.0)
+        )
+        assert host.cpu_rpe2 == 500.0
+        assert host.memory_gb == 4.0
+
+    def test_empty_host_id_rejected(self):
+        with pytest.raises(ConfigurationError):
+            PhysicalServer(
+                host_id="", spec=ServerSpec(cpu_rpe2=1.0, memory_gb=1.0)
+            )
+
+    def test_topology_defaults_to_none(self):
+        host = PhysicalServer(
+            host_id="h1", spec=ServerSpec(cpu_rpe2=1.0, memory_gb=1.0)
+        )
+        assert host.rack is None
+        assert host.subnet is None

@@ -1,0 +1,65 @@
+"""Tests for the repro-vmc command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_scale_option(self):
+        args = build_parser().parse_args(["--scale", "0.5", "list"])
+        assert args.scale == 0.5
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig7" in out
+        assert "table2" in out
+
+    def test_figure(self, capsys):
+        assert main(["--scale", "0.05", "figure", "olio"]) == 0
+        assert "7.9x" in capsys.readouterr().out
+
+    def test_analyze(self, capsys):
+        assert main(["--scale", "0.05", "analyze", "airlines"]) == 0
+        out = capsys.readouterr().out
+        assert "airlines" in out
+        assert "memory-constrained" in out
+
+    def test_compare(self, capsys):
+        assert main(["--scale", "0.05", "compare", "airlines"]) == 0
+        out = capsys.readouterr().out
+        assert "semi-static" in out
+        assert "dynamic" in out
+
+    def test_unknown_figure_raises(self):
+        from repro.exceptions import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["figure", "fig99"])
+
+    def test_candidates(self, capsys):
+        assert main(
+            ["--scale", "0.05", "candidates", "banking", "--top", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "dynamic-placement candidates" in out
+        assert "reclaimable" in out
+
+    def test_intervals(self, capsys):
+        assert main(["--scale", "0.04", "intervals", "airlines"]) == 0
+        out = capsys.readouterr().out
+        assert "interval" in out
+        assert "migrations" in out
+
+    def test_migration_ladder(self, capsys):
+        assert main(["migration-ladder"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline-1gbe" in out
+        assert "rdma" in out

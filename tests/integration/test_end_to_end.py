@@ -1,0 +1,124 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the realistic pipeline (generate → plan → emulate →
+metrics) on one small datacenter and assert cross-module invariants
+that no unit test can see.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConsolidationPlanner,
+    DynamicConsolidation,
+    SemiStaticConsolidation,
+    StochasticConsolidation,
+    build_target_pool,
+    generate_datacenter,
+)
+from repro.constraints import AntiColocate, ConstraintSet, PinToHost
+from repro.core import PlanningConfig
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return generate_datacenter("banking", scale=0.08)
+
+
+@pytest.fixture(scope="module")
+def pool(traces):
+    return build_target_pool("pool", host_count=len(traces) // 2)
+
+
+@pytest.fixture(scope="module")
+def results(traces, pool):
+    planner = ConsolidationPlanner(traces=traces, datacenter=pool)
+    return planner.compare(
+        [
+            SemiStaticConsolidation(),
+            StochasticConsolidation(),
+            DynamicConsolidation(),
+        ]
+    )
+
+
+class TestDemandConservation:
+    def test_total_demand_independent_of_scheme(self, results):
+        """Replayed demand is conserved: placement moves demand between
+        hosts but can neither create nor destroy it."""
+        totals = {
+            name: result.cpu_demand.sum() for name, result in results.items()
+        }
+        values = list(totals.values())
+        assert values[0] == pytest.approx(values[1], rel=1e-9)
+        assert values[0] == pytest.approx(values[2], rel=1e-9)
+
+    def test_memory_demand_conserved(self, results):
+        totals = [r.memory_demand.sum() for r in results.values()]
+        assert totals[0] == pytest.approx(totals[1], rel=1e-9)
+        assert totals[0] == pytest.approx(totals[2], rel=1e-9)
+
+
+class TestSchemeCharacter:
+    def test_semistatic_hosts_always_active(self, results):
+        semi = results["semi-static"]
+        assert semi.active.all()
+
+    def test_dynamic_powers_hosts_off(self, results):
+        dynamic = results["dynamic"]
+        assert not dynamic.active.all()
+        assert dynamic.active.any(axis=0).all()  # never everything off
+
+    def test_power_ordering(self, results):
+        # Powering hosts off can only reduce energy relative to
+        # always-on schemes *per provisioned host*; globally dynamic
+        # must beat vanilla for this bursty workload.
+        assert results["dynamic"].energy_kwh < results["semi-static"].energy_kwh
+
+    def test_every_vm_always_placed(self, results, traces):
+        for result in results.values():
+            for segment in result.schedule:
+                assert set(segment.placement.assignment) == set(
+                    traces.vm_ids
+                )
+
+
+class TestConstraintsEndToEnd:
+    def test_constraints_respected_by_all_schemes(self, traces, pool):
+        vm_ids = traces.vm_ids
+        constraints = ConstraintSet(
+            [
+                AntiColocate(vm_ids[0], vm_ids[1]),
+                PinToHost(vm_ids[2], pool.hosts[0].host_id),
+            ]
+        )
+        planner = ConsolidationPlanner(
+            traces=traces, datacenter=pool, constraints=constraints
+        )
+        for algorithm in (
+            SemiStaticConsolidation(),
+            StochasticConsolidation(),
+            DynamicConsolidation(),
+        ):
+            schedule = planner.plan(algorithm)
+            for segment in schedule:
+                placement = segment.placement
+                assert placement.host_of(vm_ids[0]) != placement.host_of(
+                    vm_ids[1]
+                ), algorithm.name
+                assert placement.host_of(vm_ids[2]) == (
+                    pool.hosts[0].host_id
+                ), algorithm.name
+
+
+class TestReservationEffect:
+    def test_reservation_costs_servers(self, traces, pool):
+        def peak_hosts(bound):
+            planner = ConsolidationPlanner(
+                traces=traces,
+                datacenter=pool,
+                config=PlanningConfig(utilization_bound=bound),
+            )
+            return planner.run(DynamicConsolidation()).provisioned_servers
+
+        assert peak_hosts(0.7) >= peak_hosts(1.0)

@@ -1,0 +1,41 @@
+"""Smoke tests: every shipped example must actually run.
+
+Examples are the public face of the library; a broken example is a
+broken deliverable.  Each runs in a subprocess at its smallest sensible
+scale.  The full-report example is exercised separately through the
+report tests (it would dominate the suite's runtime here).
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+
+pytestmark = pytest.mark.slow
+
+CASES = [
+    ("quickstart.py", []),
+    ("trace_analysis.py", ["0.05"]),
+    ("migration_study.py", []),
+    ("datacenter_planning.py", ["airlines", "0.05"]),
+    ("custom_workload.py", []),
+    ("monitoring_pipeline.py", []),
+]
+
+
+@pytest.mark.parametrize(
+    "script,args", CASES, ids=[case[0] for case in CASES]
+)
+def test_example_runs(script, args, tmp_path):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+        cwd=tmp_path,  # examples must not depend on the repo cwd
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"

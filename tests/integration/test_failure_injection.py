@@ -1,0 +1,120 @@
+"""Failure-injection tests: the system must fail loudly and precisely.
+
+A planning tool that silently under-provisions or mis-reports is worse
+than one that crashes; these tests pin the failure behaviour of each
+layer under injected faults.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    ConsolidationPlanner,
+    DynamicConsolidation,
+    PlacementError,
+    SemiStaticConsolidation,
+    StochasticConsolidation,
+    build_target_pool,
+    generate_datacenter,
+)
+from repro.constraints import ConstraintSet, PinToHost
+from repro.emulator.emulator import ConsolidationEmulator
+from repro.emulator.schedule import PlacementSchedule
+from repro.exceptions import EmulationError
+from repro.monitoring.agent import MonitoringAgent
+from repro.monitoring.warehouse import DataWarehouse
+from repro.placement.plan import Placement
+from tests.conftest import make_server_trace
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return generate_datacenter("banking", scale=0.05)
+
+
+class TestPoolExhaustion:
+    def test_every_algorithm_raises_with_vm_named(self, traces):
+        pool = build_target_pool("tiny", host_count=1)
+        planner = ConsolidationPlanner(traces=traces, datacenter=pool)
+        for algorithm in (
+            SemiStaticConsolidation(),
+            StochasticConsolidation(),
+            DynamicConsolidation(),
+        ):
+            with pytest.raises(PlacementError, match="banking-vm"):
+                planner.plan(algorithm)
+
+    def test_infeasible_pin_raises(self, traces):
+        pool = build_target_pool("pool", host_count=20)
+        vm = traces.vm_ids[0]
+        planner = ConsolidationPlanner(
+            traces=traces,
+            datacenter=pool,
+            constraints=ConstraintSet(
+                [PinToHost(vm, "pool-h0000"), PinToHost(vm, "pool-h0001")]
+            ),
+        )
+        with pytest.raises(PlacementError):
+            planner.plan(SemiStaticConsolidation())
+
+
+class TestEmulatorFaults:
+    def test_stale_placement_detected(self, traces):
+        # A placement referring to a VM that has since left the estate.
+        pool = build_target_pool("pool", host_count=4)
+        evaluation = traces.window(0, 48)
+        emulator = ConsolidationEmulator(
+            trace_set=evaluation, datacenter=pool
+        )
+        placement = Placement({"ghost-vm": "pool-h0000"})
+        with pytest.raises(EmulationError, match="ghost-vm"):
+            emulator.evaluate(PlacementSchedule.static(placement, 48))
+
+    def test_decommissioned_host_detected(self, traces):
+        pool = build_target_pool("pool", host_count=4)
+        evaluation = traces.window(0, 48)
+        emulator = ConsolidationEmulator(
+            trace_set=evaluation, datacenter=pool
+        )
+        placement = Placement({traces.vm_ids[0]: "decommissioned-host"})
+        with pytest.raises(EmulationError, match="decommissioned-host"):
+            emulator.evaluate(PlacementSchedule.static(placement, 48))
+
+
+class TestMonitoringFaults:
+    def test_fully_dark_hours_exclude_server(self):
+        """An agent that loses whole hours must not enter planning."""
+        rng = np.random.default_rng(4)
+        trace = make_server_trace(
+            "dark", 0.1 + 0.2 * rng.random(96), np.ones(96) * 2.0
+        )
+        # 97% drop probability: several hours lose all 60 samples.
+        agent = MonitoringAgent(trace, seed=2, drop_probability=0.97)
+        assert (agent.dropped_mask().all(axis=1)).any(), (
+            "fixture must contain at least one fully dark hour"
+        )
+        warehouse = DataWarehouse()
+        warehouse.ingest_agent(agent)
+        exported, excluded = warehouse.export_trace_set(
+            "plan", min_completeness=0.01
+        )
+        assert excluded == ("dark",)
+        assert len(exported) == 0
+
+    def test_partial_hours_still_average_correctly(self):
+        rng = np.random.default_rng(5)
+        trace = make_server_trace(
+            "flaky", 0.1 + 0.2 * rng.random(96), np.ones(96) * 2.0
+        )
+        agent = MonitoringAgent(trace, seed=3, drop_probability=0.5)
+        warehouse = DataWarehouse()
+        record = warehouse.ingest_agent(agent)
+        # Hourly means from surviving samples track the ground truth
+        # closely (the texture is mean-one and drops are random).
+        valid = ~np.isnan(record.hourly_cpu_util)
+        assert valid.any()
+        error = np.abs(
+            record.hourly_cpu_util[valid]
+            - trace.cpu_util.values[valid]
+        ) / trace.cpu_util.values[valid]
+        assert np.median(error) < 0.05

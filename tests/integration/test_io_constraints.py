@@ -1,0 +1,79 @@
+"""End-to-end test of the §3.1 I/O constraints across the algorithms.
+
+"Consolidation planning optimizes CPU and memory, while using network
+and disk throughput as constraints to identify hosts with sufficient
+link bandwidth."  With I/O models configured, every algorithm must
+respect host link/SAN capacity even when CPU and memory would fit.
+"""
+
+import pytest
+
+from repro import (
+    ConsolidationPlanner,
+    DynamicConsolidation,
+    SemiStaticConsolidation,
+    StochasticConsolidation,
+    build_target_pool,
+    generate_datacenter,
+)
+from repro.core import PlanningConfig
+from repro.sizing import DiskDemandModel, NetworkDemandModel
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return generate_datacenter("banking", scale=0.05)
+
+
+def _run(traces, config):
+    pool = build_target_pool("pool", host_count=len(traces))
+    planner = ConsolidationPlanner(
+        traces=traces, datacenter=pool, config=config
+    )
+    return {
+        algo.name: planner.run(algo)
+        for algo in (
+            SemiStaticConsolidation(),
+            StochasticConsolidation(),
+            DynamicConsolidation(),
+        )
+    }
+
+
+class TestIoConstrainedPlanning:
+    def test_io_constraints_cost_servers(self, traces):
+        """Aggressive I/O reservations force wider spreads."""
+        without = _run(traces, PlanningConfig())
+        with_io = _run(
+            traces,
+            PlanningConfig(
+                # Deliberately heavy intensities: I/O becomes binding.
+                network=NetworkDemandModel(
+                    web_mbps_per_rpe2=1.2, batch_mbps_per_rpe2=0.5
+                ),
+                disk=DiskDemandModel(
+                    web_mbps_per_rpe2=0.3, batch_mbps_per_rpe2=0.6
+                ),
+            ),
+        )
+        for scheme in without:
+            assert (
+                with_io[scheme].provisioned_servers
+                >= without[scheme].provisioned_servers
+            ), scheme
+
+    def test_default_io_models_barely_bind(self, traces):
+        """At realistic intensities I/O is a safety net, not a driver."""
+        without = _run(traces, PlanningConfig())
+        with_io = _run(
+            traces,
+            PlanningConfig(
+                network=NetworkDemandModel(), disk=DiskDemandModel()
+            ),
+        )
+        for scheme in without:
+            delta = (
+                with_io[scheme].provisioned_servers
+                - without[scheme].provisioned_servers
+            )
+            assert 0 <= delta <= 2, scheme

@@ -1,0 +1,98 @@
+"""Tests for the hardware catalog."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.catalog import (
+    HS23_ELITE,
+    SOURCE_MODELS,
+    ServerModel,
+    get_model,
+    list_models,
+    register_model,
+)
+
+
+class TestHs23Anchor:
+    def test_ratio_is_exactly_160(self):
+        # The single published anchor everything else hangs on.
+        assert HS23_ELITE.cpu_memory_ratio == pytest.approx(160.0)
+
+    def test_memory_is_128_gb(self):
+        assert HS23_ELITE.memory_gb == 128.0
+
+
+class TestCatalogLookup:
+    def test_get_known_model(self):
+        assert get_model("hs23-elite") is HS23_ELITE
+
+    def test_source_models_registered(self):
+        for model in SOURCE_MODELS:
+            assert get_model(model.name) is model
+
+    def test_unknown_model_lists_known_keys(self):
+        with pytest.raises(ConfigurationError, match="hs23-elite"):
+            get_model("nonexistent-server")
+
+    def test_list_models_sorted(self):
+        names = [m.name for m in list_models()]
+        assert names == sorted(names)
+
+
+class TestRegistration:
+    def test_register_and_lookup(self):
+        model = ServerModel(
+            name="test-unique-box",
+            cpu_rpe2=1000.0,
+            memory_gb=2.0,
+            idle_watts=50.0,
+            peak_watts=100.0,
+        )
+        register_model(model)
+        assert get_model("test-unique-box") is model
+
+    def test_duplicate_rejected_without_replace(self):
+        model = ServerModel(
+            name="dup-box",
+            cpu_rpe2=1000.0,
+            memory_gb=2.0,
+            idle_watts=50.0,
+            peak_watts=100.0,
+        )
+        register_model(model, replace=True)
+        with pytest.raises(ConfigurationError, match="already registered"):
+            register_model(model)
+
+    def test_replace_overwrites(self):
+        first = ServerModel(
+            name="swap-box", cpu_rpe2=1000.0, memory_gb=2.0,
+            idle_watts=50.0, peak_watts=100.0,
+        )
+        second = ServerModel(
+            name="swap-box", cpu_rpe2=2000.0, memory_gb=4.0,
+            idle_watts=60.0, peak_watts=120.0,
+        )
+        register_model(first, replace=True)
+        register_model(second, replace=True)
+        assert get_model("swap-box").cpu_rpe2 == 2000.0
+
+
+class TestModelValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"cpu_rpe2": 0.0},
+            {"cpu_rpe2": -10.0},
+            {"memory_gb": 0.0},
+            {"idle_watts": -1.0},
+            {"peak_watts": 10.0, "idle_watts": 20.0},
+        ],
+    )
+    def test_invalid_parameters(self, kwargs):
+        base = dict(
+            name="bad", cpu_rpe2=100.0, memory_gb=1.0,
+            idle_watts=10.0, peak_watts=20.0,
+        )
+        base.update(kwargs)
+        with pytest.raises(ConfigurationError):
+            ServerModel(**base)

@@ -1,0 +1,50 @@
+"""Tests for RPE2 capacity units."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.metrics.rpe2 import Rpe2, rpe2_to_utilization, utilization_to_rpe2
+
+
+class TestRpe2Type:
+    def test_float_conversion(self):
+        assert float(Rpe2(2500.0)) == 2500.0
+
+    def test_arithmetic_returns_rpe2(self):
+        assert float(Rpe2(100) + Rpe2(50)) == 150
+        assert float(Rpe2(100) - 25) == 75
+        assert float(Rpe2(100) * 2) == 200
+        assert float(2 * Rpe2(100)) == 200
+
+    def test_division_returns_plain_ratio(self):
+        assert Rpe2(100) / Rpe2(50) == 2.0
+
+    def test_ordering(self):
+        assert Rpe2(10) < Rpe2(20)
+        assert max(Rpe2(10), Rpe2(20)) == Rpe2(20)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Rpe2(-1.0)
+
+
+class TestConversions:
+    def test_round_trip(self):
+        demand = utilization_to_rpe2(0.25, 2000.0)
+        assert demand == 500.0
+        assert rpe2_to_utilization(demand, 2000.0) == 0.25
+
+    def test_over_capacity_utilization_allowed(self):
+        # Contended demand is representable: utilization above 1.
+        assert utilization_to_rpe2(1.5, 1000.0) == 1500.0
+        assert rpe2_to_utilization(1500.0, 1000.0) == 1.5
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            utilization_to_rpe2(-0.1, 1000.0)
+        with pytest.raises(ConfigurationError):
+            utilization_to_rpe2(0.5, 0.0)
+        with pytest.raises(ConfigurationError):
+            rpe2_to_utilization(-5.0, 1000.0)
+        with pytest.raises(ConfigurationError):
+            rpe2_to_utilization(5.0, -1000.0)

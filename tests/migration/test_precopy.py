@@ -1,0 +1,91 @@
+"""Tests for the pre-copy live-migration simulator."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.migration.precopy import (
+    MigrationOutcome,
+    PreCopyConfig,
+    simulate_migration,
+)
+
+
+class TestBasicBehaviour:
+    def test_quiet_vm_single_round(self):
+        outcome = simulate_migration(1.0, 0.0, host_cpu_util=0.3)
+        assert outcome.success
+        assert outcome.rounds == 1
+        assert outcome.overhead_factor == pytest.approx(1.0)
+        # ~1 GB over ~110 MB/s: around 10 seconds.
+        assert 5 < outcome.duration_s < 20
+
+    def test_clark_scale_numbers(self):
+        # Clark et al. report ~60 s migrations with sub-second downtime
+        # for SpecWeb-class VMs; the simulator lands in that regime.
+        outcome = simulate_migration(2.0, 20.0, host_cpu_util=0.5)
+        assert outcome.success
+        assert 10 < outcome.duration_s < 90
+        assert outcome.downtime_s < 1.0
+
+    def test_dirtier_vm_takes_longer(self):
+        quiet = simulate_migration(2.0, 5.0, host_cpu_util=0.5)
+        dirty = simulate_migration(2.0, 40.0, host_cpu_util=0.5)
+        assert dirty.duration_s > quiet.duration_s
+        assert dirty.copied_mb > quiet.copied_mb
+
+    def test_bigger_vm_takes_longer(self):
+        small = simulate_migration(1.0, 10.0)
+        big = simulate_migration(8.0, 10.0)
+        assert big.duration_s > small.duration_s
+
+    def test_writable_set_exceeding_bandwidth_fails(self):
+        config = PreCopyConfig(bandwidth_mb_s=50.0)
+        outcome = simulate_migration(2.0, 60.0, config=config)
+        assert not outcome.success
+
+
+class TestHostLoadEffects:
+    def test_cpu_pressure_degrades_throughput(self):
+        cool = simulate_migration(2.0, 20.0, host_cpu_util=0.5)
+        hot = simulate_migration(2.0, 20.0, host_cpu_util=0.9)
+        assert hot.effective_bandwidth_mb_s < cool.effective_bandwidth_mb_s
+        assert hot.duration_s > cool.duration_s
+
+    def test_reliability_cliff_matches_paper(self):
+        # Paper §4.3: reliable below 80% CPU / 85% memory commit.
+        ok = simulate_migration(
+            2.0, 20.0, host_cpu_util=0.75, host_memory_util=0.80
+        )
+        bad = simulate_migration(
+            2.0, 60.0, host_cpu_util=0.95, host_memory_util=0.95
+        )
+        assert ok.success
+        assert not bad.success
+
+    def test_memory_pressure_inflates_dirty_rate(self):
+        low = simulate_migration(2.0, 30.0, host_memory_util=0.5)
+        high = simulate_migration(2.0, 30.0, host_memory_util=0.98)
+        assert high.rounds > low.rounds
+
+    def test_below_knee_memory_has_no_effect(self):
+        a = simulate_migration(2.0, 30.0, host_memory_util=0.2)
+        b = simulate_migration(2.0, 30.0, host_memory_util=0.84)
+        assert a.duration_s == pytest.approx(b.duration_s)
+
+
+class TestValidation:
+    def test_invalid_inputs(self):
+        with pytest.raises(ConfigurationError):
+            simulate_migration(0.0, 10.0)
+        with pytest.raises(ConfigurationError):
+            simulate_migration(1.0, -5.0)
+        with pytest.raises(ConfigurationError):
+            simulate_migration(1.0, 5.0, host_cpu_util=1.5)
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            PreCopyConfig(bandwidth_mb_s=0.0)
+        with pytest.raises(ConfigurationError):
+            PreCopyConfig(max_rounds=0)
+        with pytest.raises(ConfigurationError):
+            PreCopyConfig(cpu_demand_frac=1.5)

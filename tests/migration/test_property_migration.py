@@ -1,0 +1,74 @@
+"""Property-based tests for the live-migration simulator (hypothesis)."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.migration.precopy import PreCopyConfig, simulate_migration
+
+vm_memory = st.floats(0.1, 32.0)
+dirty_rate = st.floats(0.0, 80.0)
+utilization = st.floats(0.0, 1.0)
+
+
+@given(memory=vm_memory, dirty=dirty_rate, cpu=utilization, mem=utilization)
+@settings(max_examples=80, deadline=None)
+def test_outcome_physically_sane(memory, dirty, cpu, mem):
+    outcome = simulate_migration(
+        memory, dirty, host_cpu_util=cpu, host_memory_util=mem
+    )
+    assert outcome.duration_s > 0
+    assert outcome.downtime_s >= 0
+    assert outcome.rounds >= 1
+    assert outcome.copied_mb >= memory * 1024 - 1e-6
+    assert outcome.overhead_factor >= 1.0 - 1e-9
+    assert outcome.effective_bandwidth_mb_s > 0
+
+
+@given(memory=vm_memory, dirty=dirty_rate, mem=utilization)
+@settings(max_examples=60, deadline=None)
+def test_cpu_pressure_never_helps(memory, dirty, mem):
+    low = simulate_migration(
+        memory, dirty, host_cpu_util=0.3, host_memory_util=mem
+    )
+    high = simulate_migration(
+        memory, dirty, host_cpu_util=0.9, host_memory_util=mem
+    )
+    # Success can only be lost, never gained, under CPU pressure.
+    assert low.success or not high.success
+    if high.success:
+        # When both complete, the pressured one cannot be faster.
+        # (Aborted migrations all cluster at the operator timeout, so
+        # their reported durations are not comparable.)
+        assert high.duration_s >= low.duration_s - 1e-9
+
+
+@given(dirty=dirty_rate, cpu=st.floats(0.0, 0.6))
+@settings(max_examples=60, deadline=None)
+def test_duration_monotone_in_vm_memory(dirty, cpu):
+    small = simulate_migration(0.5, dirty, host_cpu_util=cpu)
+    large = simulate_migration(8.0, dirty, host_cpu_util=cpu)
+    assert large.duration_s >= small.duration_s
+
+
+@given(memory=vm_memory, cpu=st.floats(0.0, 0.5))
+@settings(max_examples=60, deadline=None)
+def test_quiet_vm_always_succeeds_on_cool_host(memory, cpu):
+    # Zero dirty rate on an unloaded host must converge in one round
+    # unless the VM is so large it hits the operator timeout.
+    config = PreCopyConfig(max_duration_s=3600.0)
+    outcome = simulate_migration(
+        memory, 0.0, host_cpu_util=cpu, config=config
+    )
+    assert outcome.success
+    assert outcome.rounds == 1
+
+
+@given(memory=vm_memory, dirty=dirty_rate)
+@settings(max_examples=40, deadline=None)
+def test_failed_migrations_are_expensive_not_free(memory, dirty):
+    # Whatever happens, the simulator never reports a failed migration
+    # with less work than a clean success of the same VM.
+    outcome = simulate_migration(
+        memory, dirty, host_cpu_util=0.97, host_memory_util=0.97
+    )
+    if not outcome.success:
+        assert outcome.copied_mb >= memory * 1024 - 1e-6

@@ -1,0 +1,60 @@
+"""Tests for the reservation/reliability study (Observation 4)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.experiments.paper_targets import MIGRATION_RESERVATION
+from repro.migration.reliability import (
+    recommended_reservation,
+    reliability_sweep,
+)
+
+
+class TestReliabilitySweep:
+    def test_success_degrades_with_utilization(self):
+        points = reliability_sweep([0.5, 0.8, 0.95], n_migrations=80)
+        rates = [p.success_rate for p in points]
+        assert rates[0] >= rates[1] >= rates[2]
+        assert rates[0] == 1.0
+        assert rates[2] < 0.5
+
+    def test_duration_grows_with_utilization(self):
+        points = reliability_sweep([0.5, 0.9], n_migrations=80)
+        assert points[1].mean_duration_s > points[0].mean_duration_s
+
+    def test_deterministic_given_seed(self):
+        a = reliability_sweep([0.7], n_migrations=50, seed=3)
+        b = reliability_sweep([0.7], n_migrations=50, seed=3)
+        assert a == b
+
+    def test_memory_tracking_toggle(self):
+        tracked = reliability_sweep(
+            [0.95], n_migrations=80, memory_tracks_cpu=True
+        )[0]
+        untracked = reliability_sweep(
+            [0.95], n_migrations=80, memory_tracks_cpu=False
+        )[0]
+        assert untracked.host_memory_util == 0.5
+        assert tracked.success_rate <= untracked.success_rate
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            reliability_sweep([1.5])
+        with pytest.raises(ConfigurationError):
+            reliability_sweep([0.5], n_migrations=0)
+
+
+class TestObservation4:
+    def test_recommended_reservation_matches_paper(self):
+        reservation = recommended_reservation()
+        low, high = MIGRATION_RESERVATION
+        assert low <= reservation <= high
+
+    def test_stricter_bar_reserves_more(self):
+        lenient = recommended_reservation(max_p99_duration_s=400.0)
+        strict = recommended_reservation(max_p99_duration_s=120.0)
+        assert strict >= lenient
+
+    def test_granularity_validation(self):
+        with pytest.raises(ConfigurationError):
+            recommended_reservation(granularity=0.0)

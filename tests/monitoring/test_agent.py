@@ -1,0 +1,133 @@
+"""Tests for the per-server monitoring agent."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.monitoring.agent import (
+    MINUTES_PER_HOUR,
+    IntraHourModel,
+    MonitoringAgent,
+)
+from tests.conftest import make_server_trace
+
+
+@pytest.fixture
+def trace():
+    rng = np.random.default_rng(5)
+    hours = 96
+    return make_server_trace(
+        "mon-vm",
+        0.05 + 0.3 * rng.random(hours),
+        1.0 + 0.2 * rng.random(hours),
+    )
+
+
+class TestMinuteGeneration:
+    def test_shapes(self, trace):
+        agent = MonitoringAgent(trace, seed=3)
+        assert agent.minute_cpu_util().shape == (96, MINUTES_PER_HOUR)
+        assert agent.minute_memory_gb().shape == (96, MINUTES_PER_HOUR)
+
+    def test_hourly_mean_preserved_exactly(self, trace):
+        agent = MonitoringAgent(trace, seed=3)
+        hourly = agent.minute_cpu_util().mean(axis=1)
+        assert np.allclose(hourly, trace.cpu_util.values, atol=1e-12)
+
+    def test_minutes_bounded(self, trace):
+        agent = MonitoringAgent(trace, seed=3)
+        minutes = agent.minute_cpu_util()
+        assert minutes.min() >= 0.0
+        assert minutes.max() <= 1.0
+
+    def test_deterministic_across_instances(self, trace):
+        a = MonitoringAgent(trace, seed=3).minute_cpu_util()
+        b = MonitoringAgent(trace, seed=3).minute_cpu_util()
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self, trace):
+        a = MonitoringAgent(trace, seed=3).minute_cpu_util()
+        b = MonitoringAgent(trace, seed=4).minute_cpu_util()
+        assert not np.array_equal(a, b)
+
+    def test_memory_quieter_than_cpu(self, trace):
+        agent = MonitoringAgent(trace, seed=3)
+        cpu_rel = agent.minute_cpu_util() / trace.cpu_util.values[:, None]
+        mem_rel = (
+            agent.minute_memory_gb() / trace.memory_gb.values[:, None]
+        )
+        assert mem_rel.std() < cpu_rel.std()
+
+    def test_non_hourly_trace_rejected(self):
+        coarse = make_server_trace(
+            "c", [0.1, 0.2], [1.0, 1.0], interval_hours=2.0
+        )
+        with pytest.raises(ConfigurationError, match="hourly"):
+            MonitoringAgent(coarse)
+
+
+class TestSampleDrops:
+    def test_no_drops_by_default(self, trace):
+        agent = MonitoringAgent(trace, seed=3)
+        assert not agent.dropped_mask().any()
+
+    def test_drop_rate_approximate(self, trace):
+        agent = MonitoringAgent(trace, seed=3, drop_probability=0.2)
+        rate = agent.dropped_mask().mean()
+        assert 0.15 < rate < 0.25
+
+    def test_invalid_drop_probability(self, trace):
+        with pytest.raises(ConfigurationError):
+            MonitoringAgent(trace, drop_probability=1.0)
+
+
+class TestRecords:
+    def test_records_skip_dropped_minutes(self, trace):
+        agent = MonitoringAgent(trace, seed=3, drop_probability=0.3)
+        records = list(agent.records_for_hour(0))
+        expected = int((~agent.dropped_mask()[0]).sum())
+        assert len(records) == expected
+
+    def test_record_fields_consistent(self, trace):
+        agent = MonitoringAgent(trace, seed=3)
+        record = next(agent.records_for_hour(5))
+        assert record.vm_id == "mon-vm"
+        assert record.pct_priv + record.pct_user == pytest.approx(
+            record.cpu_pct
+        )
+        assert 0 <= record.cpu_pct <= 100
+        assert record.memory_committed_mb > 0
+
+    def test_hour_range_checked(self, trace):
+        agent = MonitoringAgent(trace, seed=3)
+        with pytest.raises(ConfigurationError):
+            list(agent.records_for_hour(96))
+
+
+class TestBurstPremium:
+    def test_premium_at_least_one(self, trace):
+        agent = MonitoringAgent(trace, seed=3)
+        mean, p95 = agent.burst_premium(window_hours=2)
+        assert mean >= 1.0
+        assert p95 >= mean
+
+    def test_default_model_grounds_burst_factor(self, trace):
+        # DESIGN.md §4.0.3: dynamic's cpu_burst_factor (1.12) sits inside
+        # the premium range the monitoring substrate measures.
+        agent = MonitoringAgent(trace, seed=3)
+        mean, _ = agent.burst_premium(window_hours=2)
+        assert 1.05 <= mean <= 1.35
+
+    def test_heavier_texture_bigger_premium(self, trace):
+        quiet = MonitoringAgent(
+            trace, model=IntraHourModel(lognormal_sigma=0.02), seed=3
+        )
+        noisy = MonitoringAgent(
+            trace, model=IntraHourModel(lognormal_sigma=0.3), seed=3
+        )
+        assert noisy.burst_premium(2)[0] > quiet.burst_premium(2)[0]
+
+    def test_window_validation(self, trace):
+        agent = MonitoringAgent(trace, seed=3)
+        with pytest.raises(ConfigurationError):
+            agent.burst_premium(window_hours=0)

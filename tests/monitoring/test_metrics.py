@@ -1,0 +1,34 @@
+"""Tests for the Table-1 metric catalog."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.monitoring.metrics import (
+    CPU_TOTAL,
+    MEMORY_COMMITTED,
+    TABLE1_METRICS,
+    get_metric,
+    planning_metrics,
+)
+
+
+class TestTable1Catalog:
+    def test_eleven_metrics_like_the_paper(self):
+        assert len(TABLE1_METRICS) == 11
+
+    def test_keys_unique(self):
+        keys = [m.key for m in TABLE1_METRICS]
+        assert len(set(keys)) == len(keys)
+
+    def test_planning_metrics_are_cpu_and_memory(self):
+        assert planning_metrics() == (CPU_TOTAL, MEMORY_COMMITTED)
+
+    def test_lookup(self):
+        assert get_metric("pages_per_sec").unit == "pages/s"
+        with pytest.raises(ConfigurationError):
+            get_metric("gpu_util")
+
+    def test_definitions_carry_paper_descriptions(self):
+        assert get_metric("dasd_pct_free").description == (
+            "% time DAS Device is free"
+        )

@@ -1,0 +1,67 @@
+"""Property-based tests for the monitoring pipeline (hypothesis)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.monitoring.agent import IntraHourModel, MonitoringAgent
+from repro.monitoring.warehouse import DataWarehouse
+from tests.conftest import make_server_trace
+
+hourly_utils = st.lists(
+    st.floats(0.01, 0.7), min_size=24, max_size=96
+)
+
+
+@given(utils=hourly_utils, seed=st.integers(0, 10**6))
+@settings(max_examples=40, deadline=None)
+def test_aggregation_recovers_ground_truth(utils, seed):
+    """No drops: warehouse hourly means equal the ground truth exactly."""
+    trace = make_server_trace(
+        "p", np.array(utils), np.full(len(utils), 1.5)
+    )
+    warehouse = DataWarehouse()
+    record = warehouse.ingest_agent(MonitoringAgent(trace, seed=seed))
+    assert np.allclose(
+        record.hourly_cpu_util, trace.cpu_util.values, atol=1e-10
+    )
+    assert record.completeness() == 1.0
+
+
+@given(
+    utils=hourly_utils,
+    seed=st.integers(0, 10**6),
+    drop=st.floats(0.0, 0.6),
+)
+@settings(max_examples=40, deadline=None)
+def test_completeness_tracks_drops(utils, seed, drop):
+    trace = make_server_trace(
+        "p", np.array(utils), np.full(len(utils), 1.5)
+    )
+    agent = MonitoringAgent(trace, seed=seed, drop_probability=drop)
+    warehouse = DataWarehouse()
+    record = warehouse.ingest_agent(agent)
+    expected = 1.0 - agent.dropped_mask().mean()
+    assert record.completeness() == pytest.approx(float(expected))
+
+
+@given(
+    utils=hourly_utils,
+    seed=st.integers(0, 10**6),
+    sigma=st.floats(0.0, 0.4),
+)
+@settings(max_examples=40, deadline=None)
+def test_minutes_bounded_for_any_texture(utils, seed, sigma):
+    trace = make_server_trace(
+        "p", np.array(utils), np.full(len(utils), 1.5)
+    )
+    agent = MonitoringAgent(
+        trace,
+        model=IntraHourModel(lognormal_sigma=sigma),
+        seed=seed,
+    )
+    minutes = agent.minute_cpu_util()
+    assert minutes.min() >= 0.0
+    assert minutes.max() <= 1.0
+    # Premium is never below 1 regardless of texture.
+    assert agent.burst_premium(2)[0] >= 1.0 - 1e-9

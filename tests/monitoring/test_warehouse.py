@@ -1,0 +1,108 @@
+"""Tests for the monitoring data warehouse."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, TraceError
+from repro.monitoring.agent import MonitoringAgent
+from repro.monitoring.warehouse import DataWarehouse
+from tests.conftest import make_server_trace
+
+
+def _trace(vm_id, hours=72, seed=0):
+    rng = np.random.default_rng(seed)
+    return make_server_trace(
+        vm_id, 0.05 + 0.2 * rng.random(hours), 1.0 + rng.random(hours)
+    )
+
+
+class TestIngest:
+    def test_aggregation_matches_ground_truth(self):
+        trace = _trace("a")
+        warehouse = DataWarehouse()
+        record = warehouse.ingest_agent(MonitoringAgent(trace, seed=1))
+        assert np.allclose(
+            record.hourly_cpu_util, trace.cpu_util.values, atol=1e-12
+        )
+        assert record.completeness() == 1.0
+
+    def test_duplicate_ingest_rejected(self):
+        trace = _trace("a")
+        warehouse = DataWarehouse()
+        warehouse.ingest_agent(MonitoringAgent(trace, seed=1))
+        with pytest.raises(ConfigurationError, match="already"):
+            warehouse.ingest_agent(MonitoringAgent(trace, seed=1))
+
+    def test_retention_trims_old_hours(self):
+        trace = _trace("a", hours=40 * 24)
+        warehouse = DataWarehouse(retention_days=30)
+        record = warehouse.ingest_agent(MonitoringAgent(trace, seed=1))
+        assert record.n_hours == 30 * 24
+        # The *most recent* 30 days are kept.
+        assert np.allclose(
+            record.hourly_cpu_util,
+            trace.cpu_util.values[-30 * 24:],
+            atol=1e-12,
+        )
+
+    def test_drops_reduce_completeness(self):
+        trace = _trace("a")
+        warehouse = DataWarehouse()
+        record = warehouse.ingest_agent(
+            MonitoringAgent(trace, seed=1, drop_probability=0.25)
+        )
+        assert 0.6 < record.completeness() < 0.85
+
+    def test_lookup(self):
+        warehouse = DataWarehouse()
+        warehouse.ingest_agent(MonitoringAgent(_trace("a"), seed=1))
+        assert "a" in warehouse
+        assert warehouse.completeness("a") == 1.0
+        with pytest.raises(TraceError):
+            warehouse.record("ghost")
+
+
+class TestExport:
+    def _loaded_warehouse(self):
+        warehouse = DataWarehouse()
+        warehouse.ingest_agent(MonitoringAgent(_trace("ok", seed=1), seed=1))
+        warehouse.ingest_agent(
+            MonitoringAgent(_trace("patchy", seed=2), seed=2,
+                            drop_probability=0.4)
+        )
+        warehouse.ingest_agent(
+            MonitoringAgent(_trace("no-spec", seed=3), seed=3),
+            spec_available=False,
+        )
+        return warehouse
+
+    def test_filtering_per_paper(self):
+        # §3.2: exclude servers without monitoring data or specs.
+        warehouse = self._loaded_warehouse()
+        exported, excluded = warehouse.export_trace_set(
+            "plan", min_completeness=0.9
+        )
+        assert exported.vm_ids == ("ok",)
+        assert set(excluded) == {"patchy", "no-spec"}
+
+    def test_lenient_completeness_keeps_patchy(self):
+        warehouse = self._loaded_warehouse()
+        exported, excluded = warehouse.export_trace_set(
+            "plan", min_completeness=0.5
+        )
+        assert "patchy" in exported
+        assert excluded == ("no-spec",)
+
+    def test_exported_traces_are_plannable(self):
+        warehouse = self._loaded_warehouse()
+        exported, _ = warehouse.export_trace_set("plan")
+        trace = exported.trace("ok")
+        assert trace.interval_hours == 1.0
+        assert trace.source_spec is not None
+
+    def test_validation(self):
+        warehouse = self._loaded_warehouse()
+        with pytest.raises(ConfigurationError):
+            warehouse.export_trace_set("plan", min_completeness=0.0)
+        with pytest.raises(ConfigurationError):
+            DataWarehouse(retention_days=0)

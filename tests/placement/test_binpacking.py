@@ -1,0 +1,228 @@
+"""Tests for the bin-packing heuristics."""
+
+import pytest
+
+from repro.constraints.affinity import AntiColocate, Colocate, PinToHost
+from repro.constraints.manager import ConstraintSet
+from repro.exceptions import ConfigurationError, ConstraintViolation, PlacementError
+from repro.infrastructure.vm import VMDemand
+from repro.placement.binpacking import Bin, pack, sort_decreasing
+
+
+def _demand(vm_id, cpu, mem, tail_cpu=0.0, tail_mem=0.0):
+    return VMDemand(
+        vm_id=vm_id,
+        cpu_rpe2=cpu,
+        memory_gb=mem,
+        tail_cpu_rpe2=tail_cpu,
+        tail_memory_gb=tail_mem,
+    )
+
+
+class TestBin:
+    def test_capacity_scaled_by_bound(self, tiny_pool):
+        host = tiny_pool.host("tiny-h0")
+        bin_ = Bin.for_host(host, 0.8)
+        assert bin_.cpu_capacity == pytest.approx(800.0)
+        assert bin_.memory_capacity == pytest.approx(8.0)
+
+    def test_fits_and_add(self, tiny_pool):
+        bin_ = Bin.for_host(tiny_pool.host("tiny-h0"), 1.0)
+        assert bin_.fits(_demand("a", 600, 6))
+        bin_.add(_demand("a", 600, 6))
+        assert not bin_.fits(_demand("b", 500, 1))
+        assert bin_.fits(_demand("b", 300, 1))
+
+    def test_tail_pooling(self, tiny_pool):
+        bin_ = Bin.for_host(tiny_pool.host("tiny-h0"), 1.0)
+        bin_.add(_demand("a", 300, 2, tail_cpu=400))
+        # Second VM's tail pools with the first: only max(400, 300) held.
+        assert bin_.fits(_demand("b", 300, 2, tail_cpu=300))
+        bin_.add(_demand("b", 300, 2, tail_cpu=300))
+        assert bin_.used_cpu == pytest.approx(300 + 300 + 400)
+
+    def test_add_overflow_raises(self, tiny_pool):
+        bin_ = Bin.for_host(tiny_pool.host("tiny-h0"), 1.0)
+        with pytest.raises(PlacementError):
+            bin_.add(_demand("a", 2000, 1))
+
+    def test_invalid_bound(self, tiny_pool):
+        with pytest.raises(ConfigurationError):
+            Bin.for_host(tiny_pool.host("tiny-h0"), 0.0)
+
+
+class TestSortDecreasing:
+    def test_dominant_resource_ordering(self, tiny_pool):
+        reference = tiny_pool.host("tiny-h0")  # 1000 RPE2 / 10 GB
+        cpu_heavy = _demand("cpu", 900, 1)   # score 0.9
+        mem_heavy = _demand("mem", 100, 8)   # score 0.8
+        small = _demand("small", 100, 1)     # score 0.1
+        ordered = sort_decreasing([small, mem_heavy, cpu_heavy], reference)
+        assert [d.vm_id for d in ordered] == ["cpu", "mem", "small"]
+
+    def test_deterministic_tiebreak(self, tiny_pool):
+        reference = tiny_pool.host("tiny-h0")
+        a, b = _demand("a", 100, 1), _demand("b", 100, 1)
+        assert [d.vm_id for d in sort_decreasing([b, a], reference)] == [
+            "a",
+            "b",
+        ]
+
+
+class TestPack:
+    def test_all_vms_placed_within_capacity(self, tiny_pool):
+        demands = [_demand(f"v{i}", 300, 3) for i in range(6)]
+        placement = pack(demands, tiny_pool.hosts)
+        assert len(placement) == 6
+        for host in tiny_pool:
+            vms = placement.vms_on(host.host_id)
+            assert sum(300 for _ in vms) <= host.cpu_rpe2
+
+    def test_ffd_minimizes_hosts_for_easy_case(self, tiny_pool):
+        # 3 + 3 + 4 fits in one host of 10 GB memory.
+        demands = [
+            _demand("a", 100, 3.0),
+            _demand("b", 100, 3.0),
+            _demand("c", 100, 4.0),
+        ]
+        placement = pack(demands, tiny_pool.hosts)
+        assert placement.active_host_count == 1
+
+    def test_utilization_bound_respected(self, tiny_pool):
+        demands = [_demand("a", 500, 1), _demand("b", 400, 1)]
+        placement = pack(demands, tiny_pool.hosts, utilization_bound=0.8)
+        # 500 + 400 = 900 > 800 -> must split across hosts.
+        assert placement.active_host_count == 2
+
+    def test_unplaceable_vm_raises(self, tiny_pool):
+        with pytest.raises(PlacementError, match="fits on no host"):
+            pack([_demand("big", 5000, 1)], tiny_pool.hosts)
+
+    def test_duplicate_vm_rejected(self, tiny_pool):
+        with pytest.raises(PlacementError, match="duplicate"):
+            pack([_demand("a", 1, 1), _demand("a", 2, 1)], tiny_pool.hosts)
+
+    def test_no_hosts_rejected(self):
+        with pytest.raises(PlacementError):
+            pack([_demand("a", 1, 1)], [])
+
+    def test_bad_strategy_rejected(self, tiny_pool):
+        with pytest.raises(ConfigurationError):
+            pack([_demand("a", 1, 1)], tiny_pool.hosts, strategy="magic")
+
+    def test_preferred_host_sticky(self, tiny_pool):
+        demands = [_demand("a", 100, 1)]
+        placement = pack(
+            demands, tiny_pool.hosts, preferred={"a": "tiny-h1"}
+        )
+        assert placement.host_of("a") == "tiny-h1"
+
+    def test_preferred_ignored_when_full(self, tiny_pool):
+        demands = [_demand("a", 900, 9), _demand("b", 400, 4)]
+        placement = pack(
+            demands, tiny_pool.hosts, preferred={"b": "tiny-h0"}
+        )
+        # "a" lands on h0 first (bigger), so b's hint is infeasible.
+        assert placement.host_of("a") == "tiny-h0"
+        assert placement.host_of("b") == "tiny-h1"
+
+    def test_bfd_prefers_tightest_open_bin(self, tiny_pool):
+        # Seed both hosts, then a small VM should go to the fuller one
+        # under BFD.
+        demands = [
+            _demand("big", 800, 8),
+            _demand("mid", 600, 6),
+            _demand("small", 100, 1),
+        ]
+        placement = pack(demands, tiny_pool.hosts, strategy="bfd")
+        assert placement.host_of("small") == placement.host_of("big")
+
+
+class TestPackWithConstraints:
+    def test_anti_colocate_forces_split(self, tiny_pool):
+        constraints = ConstraintSet([AntiColocate("a", "b")])
+        demands = [_demand("a", 10, 0.1), _demand("b", 10, 0.1)]
+        placement = pack(
+            demands,
+            tiny_pool.hosts,
+            constraints=constraints,
+            datacenter=tiny_pool,
+        )
+        assert placement.host_of("a") != placement.host_of("b")
+
+    def test_pin_to_host(self, tiny_pool):
+        constraints = ConstraintSet([PinToHost("a", "tiny-h1")])
+        placement = pack(
+            [_demand("a", 10, 0.1)],
+            tiny_pool.hosts,
+            constraints=constraints,
+            datacenter=tiny_pool,
+        )
+        assert placement.host_of("a") == "tiny-h1"
+
+    def test_colocate_group_lands_together(self, tiny_pool):
+        constraints = ConstraintSet([Colocate("a", "b")])
+        demands = [
+            _demand("a", 100, 1),
+            _demand("b", 100, 1),
+            _demand("c", 700, 7),
+        ]
+        placement = pack(
+            demands,
+            tiny_pool.hosts,
+            constraints=constraints,
+            datacenter=tiny_pool,
+        )
+        assert placement.host_of("a") == placement.host_of("b")
+
+    def test_constrained_vms_claim_hosts_first(self, tiny_pool):
+        # Without constrained-first ordering, the big unconstrained VM
+        # would fill h0 before the colocated pair arrives and the pack
+        # would fail; the ordering guarantees the pair lands together.
+        constraints = ConstraintSet([Colocate("a", "b")])
+        demands = [
+            _demand("a", 100, 1),
+            _demand("b", 100, 1),
+            _demand("c", 900, 9),
+        ]
+        placement = pack(
+            demands,
+            tiny_pool.hosts,
+            constraints=constraints,
+            datacenter=tiny_pool,
+        )
+        assert placement.host_of("a") == placement.host_of("b")
+        assert placement.host_of("c") != placement.host_of("a")
+
+    def test_truly_infeasible_colocate_raises(self, tiny_pool):
+        # The pair itself exceeds any single host: no ordering saves it.
+        constraints = ConstraintSet([Colocate("a", "b")])
+        demands = [_demand("a", 600, 6), _demand("b", 600, 6)]
+        with pytest.raises(PlacementError):
+            pack(
+                demands,
+                tiny_pool.hosts,
+                constraints=constraints,
+                datacenter=tiny_pool,
+            )
+
+    def test_infeasible_constraints_raise(self, tiny_pool):
+        constraints = ConstraintSet(
+            [PinToHost("a", "tiny-h0"), PinToHost("b", "tiny-h0"),
+             AntiColocate("a", "b")]
+        )
+        with pytest.raises(PlacementError):
+            pack(
+                [_demand("a", 10, 0.1), _demand("b", 10, 0.1)],
+                tiny_pool.hosts,
+                constraints=constraints,
+                datacenter=tiny_pool,
+            )
+
+    def test_constraints_require_datacenter(self, tiny_pool):
+        with pytest.raises(ConfigurationError, match="datacenter"):
+            pack(
+                [_demand("a", 10, 0.1)],
+                tiny_pool.hosts,
+                constraints=ConstraintSet([PinToHost("a", "tiny-h0")]),
+            )

@@ -1,0 +1,127 @@
+"""Tests for the local-search placement improver."""
+
+import pytest
+
+from repro.constraints.affinity import AntiColocate, PinToHost
+from repro.constraints.manager import ConstraintSet
+from repro.exceptions import ConfigurationError, PlacementError
+from repro.infrastructure.datacenter import Datacenter
+from repro.infrastructure.server import PhysicalServer, ServerSpec
+from repro.infrastructure.vm import VMDemand
+from repro.placement.binpacking import pack
+from repro.placement.improve import improve_placement
+from repro.placement.plan import Placement
+
+
+@pytest.fixture
+def pool():
+    dc = Datacenter(name="ls")
+    for index in range(8):
+        dc.add_host(
+            PhysicalServer(
+                host_id=f"h{index}",
+                spec=ServerSpec(cpu_rpe2=1000.0, memory_gb=10.0),
+            )
+        )
+    return dc
+
+
+def _demands(n, cpu=200.0, mem=2.0):
+    return [
+        VMDemand(vm_id=f"v{i}", cpu_rpe2=cpu, memory_gb=mem)
+        for i in range(n)
+    ]
+
+
+def _round_robin(demands, pool):
+    hosts = [h.host_id for h in pool]
+    return Placement(
+        {d.vm_id: hosts[i % len(hosts)] for i, d in enumerate(demands)}
+    )
+
+
+class TestImprovePlacement:
+    def test_collapses_fragmented_placement(self, pool):
+        # 8 VMs of 200 RPE2 round-robined over 8 hosts fit on 2.
+        demands = _demands(8)
+        fragmented = _round_robin(demands, pool)
+        assert fragmented.active_host_count == 8
+        improved = improve_placement(fragmented, demands, pool.hosts)
+        assert improved.active_host_count == 2
+
+    def test_never_increases_host_count(self, pool):
+        demands = _demands(10, cpu=450.0)
+        packed = pack(demands, pool.hosts)
+        improved = improve_placement(packed, demands, pool.hosts)
+        assert improved.active_host_count <= packed.active_host_count
+
+    def test_capacity_respected_after_improvement(self, pool):
+        demands = _demands(12, cpu=300.0, mem=3.0)
+        improved = improve_placement(
+            _round_robin(demands, pool), demands, pool.hosts,
+            utilization_bound=0.9,
+        )
+        by_id = {d.vm_id: d for d in demands}
+        for host in pool:
+            members = [by_id[v] for v in improved.vms_on(host.host_id)]
+            assert sum(m.cpu_rpe2 for m in members) <= 900.0 + 1e-6
+            assert sum(m.memory_gb for m in members) <= 9.0 + 1e-6
+
+    def test_all_vms_still_placed(self, pool):
+        demands = _demands(9)
+        improved = improve_placement(
+            _round_robin(demands, pool), demands, pool.hosts
+        )
+        assert sorted(improved.assignment) == sorted(
+            d.vm_id for d in demands
+        )
+
+    def test_respects_constraints(self, pool):
+        demands = _demands(6)
+        constraints = ConstraintSet(
+            [AntiColocate("v0", "v1"), PinToHost("v2", "h5")]
+        )
+        start = Placement(
+            {"v0": "h0", "v1": "h1", "v2": "h5", "v3": "h3",
+             "v4": "h4", "v5": "h6"}
+        )
+        improved = improve_placement(
+            start, demands, pool.hosts,
+            constraints=constraints, datacenter=pool,
+        )
+        assert improved.host_of("v0") != improved.host_of("v1")
+        assert improved.host_of("v2") == "h5"
+
+    def test_tail_pooling_preserved(self, pool):
+        # Two VMs with large tails pool on a host; evacuating a third
+        # must account for its tail joining the pool.
+        demands = [
+            VMDemand("a", cpu_rpe2=300, memory_gb=1, tail_cpu_rpe2=400),
+            VMDemand("b", cpu_rpe2=300, memory_gb=1, tail_cpu_rpe2=350),
+            VMDemand("c", cpu_rpe2=250, memory_gb=1, tail_cpu_rpe2=100),
+        ]
+        start = Placement({"a": "h0", "b": "h1", "c": "h2"})
+        improved = improve_placement(start, demands, pool.hosts)
+        by_id = {d.vm_id: d for d in demands}
+        for host in pool:
+            members = [by_id[v] for v in improved.vms_on(host.host_id)]
+            if not members:
+                continue
+            body = sum(m.cpu_rpe2 for m in members)
+            tail = max(m.tail_cpu_rpe2 for m in members)
+            assert body + tail <= 1000.0 + 1e-6
+
+    def test_unknown_host_rejected(self, pool):
+        demands = _demands(1)
+        with pytest.raises(PlacementError, match="unknown host"):
+            improve_placement(
+                Placement({"v0": "ghost"}), demands, pool.hosts
+            )
+
+    def test_validation(self, pool):
+        demands = _demands(2)
+        placement = _round_robin(demands, pool)
+        with pytest.raises(ConfigurationError):
+            improve_placement(
+                placement, demands, pool.hosts, max_rounds=0
+            )

@@ -1,0 +1,62 @@
+"""Tests for link bandwidth as a placement constraint (paper §3.1)."""
+
+import pytest
+
+from repro.exceptions import PlacementError
+from repro.infrastructure.datacenter import Datacenter
+from repro.infrastructure.server import PhysicalServer, ServerSpec
+from repro.infrastructure.vm import VMDemand
+from repro.placement.binpacking import Bin, pack
+
+
+@pytest.fixture
+def thin_link_pool():
+    """Hosts with plenty of CPU/memory but a 100 Mbps uplink."""
+    dc = Datacenter(name="thin")
+    for index in range(4):
+        dc.add_host(
+            PhysicalServer(
+                host_id=f"h{index}",
+                spec=ServerSpec(
+                    cpu_rpe2=10_000.0, memory_gb=100.0, network_mbps=100.0
+                ),
+            )
+        )
+    return dc
+
+
+def _demand(vm_id, network):
+    return VMDemand(
+        vm_id=vm_id, cpu_rpe2=10.0, memory_gb=0.1, network_mbps=network
+    )
+
+
+class TestNetworkInBin:
+    def test_bin_tracks_network(self, thin_link_pool):
+        bin_ = Bin.for_host(thin_link_pool.host("h0"), 1.0)
+        bin_.add(_demand("a", 60.0))
+        assert not bin_.fits(_demand("b", 50.0))
+        assert bin_.fits(_demand("b", 40.0))
+
+    def test_bound_scales_network(self, thin_link_pool):
+        bin_ = Bin.for_host(thin_link_pool.host("h0"), 0.8)
+        assert bin_.network_capacity == pytest.approx(80.0)
+
+    def test_zero_network_demand_never_blocks(self, thin_link_pool):
+        bin_ = Bin.for_host(thin_link_pool.host("h0"), 1.0)
+        for index in range(50):
+            bin_.add(_demand(f"v{index}", 0.0))
+        assert len(bin_.vm_ids) == 50
+
+
+class TestNetworkInPack:
+    def test_network_forces_spread(self, thin_link_pool):
+        # CPU/memory would fit all eight on one host; the 100 Mbps link
+        # admits only two 40 Mbps VMs per host.
+        demands = [_demand(f"v{i}", 40.0) for i in range(8)]
+        placement = pack(demands, thin_link_pool.hosts)
+        assert placement.active_host_count == 4
+
+    def test_unroutable_vm_raises(self, thin_link_pool):
+        with pytest.raises(PlacementError):
+            pack([_demand("hog", 500.0)], thin_link_pool.hosts)

@@ -1,0 +1,58 @@
+"""Tests for the placement data structure."""
+
+import pytest
+
+from repro.exceptions import PlacementError
+from repro.placement.plan import Placement
+
+
+class TestPlacement:
+    def test_lookup_and_membership(self):
+        placement = Placement({"a": "h1", "b": "h1", "c": "h2"})
+        assert placement.host_of("a") == "h1"
+        assert "a" in placement
+        assert len(placement) == 3
+
+    def test_vms_on_host(self):
+        placement = Placement({"a": "h1", "b": "h1", "c": "h2"})
+        assert set(placement.vms_on("h1")) == {"a", "b"}
+        assert placement.vms_on("h9") == ()
+
+    def test_hosts_used_and_active_count(self):
+        placement = Placement({"a": "h1", "b": "h1", "c": "h2"})
+        assert placement.hosts_used == {"h1", "h2"}
+        assert placement.active_host_count == 2
+
+    def test_unplaced_vm_raises(self):
+        placement = Placement({"a": "h1"})
+        with pytest.raises(PlacementError):
+            placement.host_of("z")
+
+    def test_migrations_from(self):
+        before = Placement({"a": "h1", "b": "h1", "c": "h2"})
+        after = Placement({"a": "h2", "b": "h1", "d": "h3"})
+        # a moved, b stayed, c disappeared, d is new.
+        assert after.migrations_from(before) == {"a"}
+
+    def test_migrations_from_empty(self):
+        after = Placement({"a": "h1"})
+        assert after.migrations_from(Placement.empty()) == frozenset()
+
+    def test_with_assignment_is_functional(self):
+        placement = Placement({"a": "h1"})
+        updated = placement.with_assignment("b", "h2")
+        assert "b" not in placement
+        assert updated.host_of("b") == "h2"
+        assert updated.host_of("a") == "h1"
+
+    def test_empty_ids_rejected(self):
+        with pytest.raises(PlacementError):
+            Placement({"": "h1"})
+        with pytest.raises(PlacementError):
+            Placement({"a": ""})
+
+    def test_assignment_snapshot_is_independent(self):
+        source = {"a": "h1"}
+        placement = Placement(source)
+        source["b"] = "h2"
+        assert "b" not in placement

@@ -1,0 +1,98 @@
+"""Property-based tests for the local-search improver (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.infrastructure.datacenter import Datacenter
+from repro.infrastructure.server import PhysicalServer, ServerSpec
+from repro.infrastructure.vm import VMDemand
+from repro.placement.improve import improve_placement
+from repro.placement.plan import Placement
+
+HOST_CPU = 1000.0
+HOST_MEM = 50.0
+N_HOSTS = 8
+
+
+def _pool() -> Datacenter:
+    dc = Datacenter(name="prop")
+    for index in range(N_HOSTS):
+        dc.add_host(
+            PhysicalServer(
+                host_id=f"h{index}",
+                spec=ServerSpec(cpu_rpe2=HOST_CPU, memory_gb=HOST_MEM),
+            )
+        )
+    return dc
+
+
+POOL = _pool()
+
+
+@st.composite
+def feasible_fragmented_placements(draw):
+    """Random demands spread randomly but feasibly across the pool."""
+    n_vms = draw(st.integers(1, 16))
+    demands = []
+    loads = {h.host_id: [0.0, 0.0] for h in POOL}
+    assignment = {}
+    for index in range(n_vms):
+        cpu = draw(st.floats(1.0, 400.0))
+        mem = draw(st.floats(0.1, 20.0))
+        demand = VMDemand(vm_id=f"v{index}", cpu_rpe2=cpu, memory_gb=mem)
+        # Place on a random host with room (guaranteed feasible start).
+        candidates = [
+            h
+            for h, (c, m) in loads.items()
+            if c + cpu <= HOST_CPU and m + mem <= HOST_MEM
+        ]
+        if not candidates:
+            continue
+        host = draw(st.sampled_from(sorted(candidates)))
+        loads[host][0] += cpu
+        loads[host][1] += mem
+        assignment[demand.vm_id] = host
+        demands.append(demand)
+    if not demands:
+        demand = VMDemand(vm_id="v0", cpu_rpe2=10.0, memory_gb=1.0)
+        demands = [demand]
+        assignment = {"v0": "h0"}
+    return demands, Placement(assignment)
+
+
+@given(data=feasible_fragmented_placements())
+@settings(max_examples=80, deadline=None)
+def test_improvement_invariants(data):
+    demands, start = data
+    improved = improve_placement(start, demands, POOL.hosts)
+    # 1. Nothing lost, nothing invented.
+    assert sorted(improved.assignment) == sorted(start.assignment)
+    # 2. Host count never increases and never beats the volume bound.
+    by_id = {d.vm_id: d for d in demands}
+    placed = [by_id[v] for v in improved.assignment]
+    lower = max(
+        1,
+        math.ceil(
+            max(
+                sum(d.cpu_rpe2 for d in placed) / HOST_CPU,
+                sum(d.memory_gb for d in placed) / HOST_MEM,
+            )
+            - 1e-9
+        ),
+    )
+    assert lower <= improved.active_host_count <= start.active_host_count
+    # 3. Capacity safe on every host.
+    for host in POOL:
+        members = [by_id[v] for v in improved.vms_on(host.host_id)]
+        assert sum(m.cpu_rpe2 for m in members) <= HOST_CPU + 1e-6
+        assert sum(m.memory_gb for m in members) <= HOST_MEM + 1e-6
+
+
+@given(data=feasible_fragmented_placements())
+@settings(max_examples=40, deadline=None)
+def test_improvement_is_idempotent(data):
+    demands, start = data
+    once = improve_placement(start, demands, POOL.hosts)
+    twice = improve_placement(once, demands, POOL.hosts)
+    assert twice.active_host_count == once.active_host_count

@@ -1,0 +1,69 @@
+"""Tests for sizing functions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError, TraceError
+from repro.sizing.functions import (
+    BodyTailSizing,
+    MaxSizing,
+    MeanSizing,
+    PercentileSizing,
+    SizingFunction,
+)
+
+
+@pytest.fixture
+def window():
+    return np.array([1.0, 2.0, 3.0, 4.0, 10.0])
+
+
+class TestScalarSizings:
+    def test_max(self, window):
+        assert MaxSizing().size(window) == 10.0
+
+    def test_mean(self, window):
+        assert MeanSizing().size(window) == 4.0
+
+    def test_percentile(self, window):
+        assert PercentileSizing(50).size(window) == 3.0
+        assert PercentileSizing(100).size(window) == 10.0
+
+    def test_percentile_validation(self):
+        with pytest.raises(ConfigurationError):
+            PercentileSizing(101)
+
+    def test_protocol_conformance(self):
+        for sizing in (MaxSizing(), MeanSizing(), PercentileSizing(90),
+                       BodyTailSizing()):
+            assert isinstance(sizing, SizingFunction)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(TraceError):
+            MaxSizing().size(np.array([]))
+
+
+class TestBodyTailSizing:
+    def test_split_sums_to_max(self, window):
+        body, tail = BodyTailSizing(90).split(window)
+        assert body + tail == pytest.approx(10.0)
+        assert body == pytest.approx(np.percentile(window, 90))
+
+    def test_size_returns_body(self, window):
+        sizing = BodyTailSizing(90)
+        assert sizing.size(window) == sizing.split(window)[0]
+
+    def test_flat_window_has_zero_tail(self):
+        body, tail = BodyTailSizing(90).split(np.full(10, 2.0))
+        assert body == 2.0
+        assert tail == 0.0
+
+    def test_tail_never_negative(self):
+        # percentile 100 makes body == max.
+        body, tail = BodyTailSizing(100).split(np.array([1.0, 5.0]))
+        assert tail == 0.0
+
+    def test_ordering_vs_max_sizing(self, window):
+        body, tail = BodyTailSizing(90).split(window)
+        assert body <= MaxSizing().size(window)
+        assert body >= MeanSizing().size(window)

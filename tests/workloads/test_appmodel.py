@@ -1,0 +1,57 @@
+"""Tests for the Olio application scaling model (§4.1 aside)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.appmodel import OLIO_MODEL, AppResourceModel
+
+
+class TestOlioReproduction:
+    def test_paper_numbers(self):
+        throughput, cpu, memory = OLIO_MODEL.scaling_factors(10, 60)
+        assert throughput == pytest.approx(6.0)
+        # "CPU demand increased from 0.18 core to 1.42 cores (7.9X)"
+        assert cpu == pytest.approx(1.42 / 0.18, rel=1e-6)
+        # "the memory demand only increased by 3X"
+        assert memory == pytest.approx(3.0, rel=1e-6)
+
+    def test_absolute_cpu_anchors(self):
+        assert OLIO_MODEL.cpu_cores(10) == pytest.approx(0.18)
+        assert OLIO_MODEL.cpu_cores(60) == pytest.approx(1.42, rel=1e-3)
+
+    def test_cpu_superlinear_memory_sublinear(self):
+        assert OLIO_MODEL.cpu_exponent > 1.0
+        assert OLIO_MODEL.memory_exponent < 1.0
+
+    def test_sweep_rows(self):
+        rows = OLIO_MODEL.sweep([10, 20, 30])
+        assert len(rows) == 3
+        throughputs = [r[0] for r in rows]
+        cpus = [r[1] for r in rows]
+        memories = [r[2] for r in rows]
+        assert throughputs == [10, 20, 30]
+        assert cpus == sorted(cpus)
+        assert memories == sorted(memories)
+
+
+class TestValidation:
+    def test_nonpositive_throughput(self):
+        with pytest.raises(ConfigurationError):
+            OLIO_MODEL.cpu_cores(0.0)
+        with pytest.raises(ConfigurationError):
+            OLIO_MODEL.memory_gb(-5.0)
+
+    def test_reversed_range(self):
+        with pytest.raises(ConfigurationError):
+            OLIO_MODEL.scaling_factors(60, 10)
+
+    def test_bad_model_parameters(self):
+        with pytest.raises(ConfigurationError):
+            AppResourceModel(
+                name="bad",
+                reference_throughput=0.0,
+                cpu_cores_at_reference=1.0,
+                memory_gb_at_reference=1.0,
+                cpu_exponent=1.0,
+                memory_exponent=1.0,
+            )

@@ -1,0 +1,89 @@
+"""Tests for the four datacenter presets (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.datacenters import (
+    ALL_DATACENTERS,
+    BANKING,
+    generate_datacenter,
+    get_datacenter_config,
+)
+
+
+class TestConfigLookup:
+    @pytest.mark.parametrize(
+        "key,expected",
+        [
+            ("banking", "banking"),
+            ("A", "banking"),
+            ("b", "airlines"),
+            ("natres", "natural-resources"),
+            ("Natural-Resources", "natural-resources"),
+            ("d", "beverage"),
+        ],
+    )
+    def test_aliases(self, key, expected):
+        assert get_datacenter_config(key).key == expected
+
+    def test_unknown_key(self):
+        with pytest.raises(ConfigurationError, match="unknown datacenter"):
+            get_datacenter_config("retail")
+
+    def test_paper_server_counts(self):
+        counts = {c.key: c.server_count for c in ALL_DATACENTERS}
+        assert counts == {
+            "banking": 816,
+            "airlines": 445,
+            "natural-resources": 1390,
+            "beverage": 722,
+        }
+
+    def test_web_fraction_ordering(self):
+        # Paper §3.2: A has the highest web fraction, then D, B, C.
+        fractions = {c.key: c.web_fraction for c in ALL_DATACENTERS}
+        assert (
+            fractions["banking"]
+            > fractions["beverage"]
+            > fractions["airlines"]
+            > fractions["natural-resources"]
+        )
+
+    def test_group_weights_sum_to_one(self):
+        for config in ALL_DATACENTERS:
+            assert sum(g.weight for g in config.groups) == pytest.approx(1.0)
+
+
+class TestGeneration:
+    def test_full_scale_counts(self):
+        # Do not generate full-scale traces here (slow); check the
+        # apportionment arithmetic via a small scale instead.
+        ts = generate_datacenter("banking", scale=0.1, days=2)
+        assert len(ts) == round(816 * 0.1)
+
+    def test_scale_validation(self):
+        with pytest.raises(ConfigurationError):
+            generate_datacenter("banking", scale=0.0)
+        with pytest.raises(ConfigurationError):
+            generate_datacenter("banking", days=0)
+
+    def test_deterministic_per_preset_seed(self):
+        a = generate_datacenter("airlines", scale=0.05, days=3)
+        b = generate_datacenter("airlines", scale=0.05, days=3)
+        assert np.array_equal(
+            a.cpu_rpe2_matrix(), b.cpu_rpe2_matrix()
+        )
+
+    def test_seed_override_changes_traces(self):
+        a = generate_datacenter("airlines", scale=0.05, days=3)
+        b = generate_datacenter("airlines", scale=0.05, days=3, seed=999)
+        assert not np.array_equal(a.cpu_rpe2_matrix(), b.cpu_rpe2_matrix())
+
+    def test_trace_length_matches_days(self):
+        ts = generate_datacenter("beverage", scale=0.05, days=4)
+        assert ts.n_points == 4 * 24
+
+    def test_minimum_one_server_per_group(self):
+        ts = generate_datacenter("banking", scale=0.001, days=1)
+        assert len(ts) >= len(BANKING.groups)

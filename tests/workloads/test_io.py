@@ -1,0 +1,85 @@
+"""Tests for trace archive (de)serialization."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TraceError
+from repro.workloads.io import load_trace_set, save_trace_set
+from repro.workloads.trace import TraceSet
+from tests.conftest import make_server_trace
+
+
+@pytest.fixture
+def trace_set():
+    ts = TraceSet(name="archive-test")
+    ts.add(make_server_trace("a", [0.1, 0.5, 0.2], [1.0, 1.5, 1.2]))
+    ts.add(make_server_trace("b", [0.3, 0.1, 0.4], [2.0, 2.5, 2.2]))
+    return ts
+
+
+class TestRoundTrip:
+    def test_round_trip_preserves_everything(self, trace_set, tmp_path):
+        path = save_trace_set(trace_set, tmp_path / "traces.npz")
+        loaded = load_trace_set(path)
+        assert loaded.name == trace_set.name
+        assert loaded.vm_ids == trace_set.vm_ids
+        assert loaded.interval_hours == trace_set.interval_hours
+        for original, restored in zip(trace_set, loaded):
+            assert np.allclose(
+                original.cpu_util.values, restored.cpu_util.values
+            )
+            assert np.allclose(
+                original.memory_gb.values, restored.memory_gb.values
+            )
+            assert restored.source_spec == original.source_spec
+            assert restored.vm.workload_class == original.vm.workload_class
+            assert dict(restored.vm.labels) == dict(original.vm.labels)
+
+    def test_extension_appended(self, trace_set, tmp_path):
+        path = save_trace_set(trace_set, tmp_path / "noext")
+        assert path.suffix == ".npz"
+        assert path.exists()
+
+    def test_empty_set_rejected(self, tmp_path):
+        with pytest.raises(TraceError, match="empty"):
+            save_trace_set(TraceSet(name="empty"), tmp_path / "x.npz")
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(TraceError, match="not found"):
+            load_trace_set(tmp_path / "nope.npz")
+
+    def test_wrong_version_rejected(self, trace_set, tmp_path):
+        import json
+
+        path = save_trace_set(trace_set, tmp_path / "traces.npz")
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode())
+            cpu, mem = archive["cpu_util"], archive["memory_gb"]
+        meta["format_version"] = 999
+        np.savez(
+            path,
+            cpu_util=cpu,
+            memory_gb=mem,
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(TraceError, match="version"):
+            load_trace_set(path)
+
+    def test_truncated_archive_rejected(self, trace_set, tmp_path):
+        import json
+
+        path = save_trace_set(trace_set, tmp_path / "traces.npz")
+        with np.load(path) as archive:
+            meta = json.loads(bytes(archive["meta"]).decode())
+            cpu = archive["cpu_util"]
+        # Drop a matrix row but keep both server records.
+        np.savez(
+            path,
+            cpu_util=cpu[:1],
+            memory_gb=cpu[:1],
+            meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
+        )
+        with pytest.raises(TraceError, match="do not match"):
+            load_trace_set(path)
