@@ -1,0 +1,20 @@
+# Developer entry points. CI runs `make check`; see .github/workflows/ci.yml.
+#
+# PYTHONPATH=src keeps everything runnable from a bare checkout without
+# an editable install.
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: lint test check list-rules
+
+lint:
+	$(PYTHON) -m repro.devtools src/repro
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+check: lint test
+
+list-rules:
+	$(PYTHON) -m repro.devtools --list-rules

@@ -29,6 +29,7 @@ from typing import Dict, List, Mapping, Optional
 
 from repro.core.base import PlanningContext
 from repro.core.dynamic import DynamicConsolidation, _DEFAULT_IDLE_WATTS
+from repro.emulator.schedule import PlacementSchedule
 from repro.exceptions import ConfigurationError
 from repro.infrastructure.power import LinearPowerModel
 from repro.infrastructure.server import PhysicalServer
@@ -67,7 +68,7 @@ class PowerBudgetedConsolidation(DynamicConsolidation):
         #: reset at each plan() call, indexed by interval.
         self.overshoot_watts: List[float] = []
 
-    def plan(self, context: PlanningContext):
+    def plan(self, context: PlanningContext) -> PlacementSchedule:
         self.overshoot_watts = []
         return super().plan(context)
 

@@ -1,0 +1,58 @@
+"""repro.devtools — domain-aware static analysis for the repro codebase.
+
+The paper's headline claim rests on the emulator staying within a ≤5%
+99th-percentile error of a real consolidation run (Section 5.1).  That
+contract is easy to break silently: a MB value flowing into a GB
+parameter, a utilization fraction treated as a percent, an unseeded
+RNG making two "identical" experiments diverge.  This package encodes
+those domain invariants as AST lint rules behind a pluggable registry,
+with a ``repro-lint`` CLI suitable as a CI gate, per-line
+``# repro-lint: disable=RULE`` pragmas, and a baseline file for
+incremental debt burn-down.
+
+Typical use::
+
+    repro-lint src/repro                 # lint the library, exit 0/1
+    repro-lint --list-rules              # what is enforced, and why
+    repro-lint --write-baseline lint-baseline.json   # accept current debt
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+"""
+
+from repro.devtools import rules as _rules  # noqa: F401  (registers rules)
+from repro.devtools.baseline import (
+    apply_baseline,
+    baseline_counts,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.cli import main
+from repro.devtools.context import Module, Project
+from repro.devtools.engine import discover_files, lint_paths
+from repro.devtools.findings import PARSE_ERROR_ID, Finding
+from repro.devtools.registry import (
+    Rule,
+    RuleLookupError,
+    all_rules,
+    register,
+    resolve_rule_ids,
+)
+
+__all__ = [
+    "PARSE_ERROR_ID",
+    "Finding",
+    "Module",
+    "Project",
+    "Rule",
+    "RuleLookupError",
+    "all_rules",
+    "apply_baseline",
+    "baseline_counts",
+    "discover_files",
+    "lint_paths",
+    "load_baseline",
+    "main",
+    "register",
+    "resolve_rule_ids",
+    "write_baseline",
+]

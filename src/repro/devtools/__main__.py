@@ -1,0 +1,6 @@
+"""Allow ``python -m repro.devtools`` as an alias for ``repro-lint``."""
+
+from repro.devtools.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,83 @@
+"""Small AST utilities shared by the built-in rules."""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional
+
+__all__ = [
+    "UNIT_SUFFIXES",
+    "dotted_name",
+    "terminal_name",
+    "unit_suffix",
+    "is_infinity",
+]
+
+#: Unit suffixes carrying dimensional meaning in this codebase.  Longest
+#: alternatives first so ``_mbps`` is not read as ``_mb`` + ``ps``.
+UNIT_SUFFIXES = ("mbps", "gbps", "mb", "gb", "mhz", "watts", "frac", "pct", "rpe2")
+
+_SUFFIX_RE = re.compile(r"_(%s)$" % "|".join(UNIT_SUFFIXES))
+
+
+def unit_suffix(name: str) -> Optional[str]:
+    """The unit suffix carried by ``name`` (``memory_gb`` → ``gb``), if any."""
+    match = _SUFFIX_RE.search(name)
+    return match.group(1) if match else None
+
+
+def dotted_name(node: ast.AST) -> Optional[List[str]]:
+    """Flatten a ``Name``/``Attribute`` chain into its dotted parts.
+
+    ``np.random.rand`` → ``["np", "random", "rand"]``; anything with a
+    non-name base (calls, subscripts) returns ``None``.
+    """
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+def terminal_name(node: ast.AST) -> Optional[str]:
+    """The identifier most likely to carry a unit suffix for ``node``.
+
+    Names and attributes yield their last component; calls yield the
+    callee's last component (so ``mb_to_gb(x)`` reads as ``gb``).
+    Everything else — literals, arithmetic, subscripts — yields ``None``
+    because its units cannot be inferred lexically, which conveniently
+    exempts explicit conversions like ``memory_mb / 1024.0``.
+    """
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Call):
+        return terminal_name(node.func)
+    return None
+
+
+def is_infinity(node: ast.AST) -> bool:
+    """True for expressions denoting ±inf (exactly comparable floats).
+
+    Recognises ``float("inf")`` / ``float("-inf")``, ``math.inf``,
+    ``np.inf`` / ``numpy.inf``, and unary ``-`` applied to any of them.
+    """
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        return is_infinity(node.operand)
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+        and len(node.args) == 1
+        and isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+        and node.args[0].value.lstrip("+-").lower() in ("inf", "infinity")
+    ):
+        return True
+    parts = dotted_name(node)
+    return parts is not None and parts[-1] in ("inf", "infty", "Infinity")

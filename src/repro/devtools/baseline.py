@@ -1,0 +1,79 @@
+"""Baseline files: ratchet down pre-existing lint debt.
+
+A baseline records, per file and rule, how many findings are accepted
+as known debt.  ``repro-lint --baseline FILE`` subtracts those counts
+(earliest findings first) so CI only fails on *new* violations, and
+``--write-baseline FILE`` snapshots the current state.  Counts rather
+than line numbers make the baseline robust to unrelated edits shifting
+code up or down.
+
+Deleting entries (or the whole file) ratchets the debt down; the linter
+never needs the baseline to grow.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List
+
+from repro.devtools.findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "apply_baseline", "baseline_counts"]
+
+_FORMAT_VERSION = 1
+
+BaselineCounts = Dict[str, Dict[str, int]]
+
+
+def baseline_counts(findings: List[Finding]) -> BaselineCounts:
+    """Aggregate findings into ``{path: {rule_id: count}}`` form."""
+    counts: Counter = Counter((f.path, f.rule_id) for f in findings)
+    nested: BaselineCounts = {}
+    for (path, rule_id), count in sorted(counts.items()):
+        nested.setdefault(path, {})[rule_id] = count
+    return nested
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> None:
+    """Serialise current findings as an accepted-debt snapshot."""
+    payload = {"version": _FORMAT_VERSION, "entries": baseline_counts(findings)}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def load_baseline(path: Path) -> BaselineCounts:
+    """Read a baseline file, validating its format version."""
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(
+            f"{path}: not a repro-lint baseline (expected version {_FORMAT_VERSION})"
+        )
+    entries = payload.get("entries", {})
+    if not isinstance(entries, dict):
+        raise ValueError(f"{path}: malformed baseline entries")
+    return entries
+
+
+def apply_baseline(
+    findings: List[Finding], baseline: BaselineCounts
+) -> List[Finding]:
+    """Subtract baselined counts, suppressing the earliest findings first.
+
+    Findings beyond the accepted count for their ``(path, rule)`` bucket
+    are kept, so introducing a violation to an already-baselined file
+    still fails the build.
+    """
+    budget = {
+        (path, rule_id): count
+        for path, rules in baseline.items()
+        for rule_id, count in rules.items()
+    }
+    kept = []
+    for finding in sorted(findings):
+        key = (finding.path, finding.rule_id)
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            continue
+        kept.append(finding)
+    return kept

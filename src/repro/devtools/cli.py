@@ -1,0 +1,133 @@
+"""``repro-lint`` — domain-aware static analysis for the repro codebase.
+
+Exit codes follow CI conventions:
+
+* ``0`` — no findings (after pragma and baseline subtraction);
+* ``1`` — findings reported;
+* ``2`` — usage error (unknown rule, missing path, bad baseline file).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import List, Optional
+
+from repro.devtools import rules as _rules  # noqa: F401  (registers rules)
+from repro.devtools.baseline import apply_baseline, load_baseline, write_baseline
+from repro.devtools.engine import lint_paths
+from repro.devtools.registry import RuleLookupError, all_rules, resolve_rule_ids
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Static analysis enforcing the determinism, unit-discipline, "
+            "and capacity-accounting invariants the paper reproduction "
+            "depends on."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="RULES",
+        help="comma-separated rule ids/names to run exclusively",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="RULES",
+        help="comma-separated rule ids/names to skip",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        type=Path,
+        help="subtract findings recorded in this baseline file",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        metavar="FILE",
+        type=Path,
+        help="snapshot current findings as accepted debt and exit 0",
+    )
+    parser.add_argument(
+        "--statistics",
+        action="store_true",
+        help="print a per-rule finding count after the report",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="list registered rules and exit",
+    )
+    return parser
+
+
+def _parse_rule_list(spec: Optional[str]) -> Optional[List[str]]:
+    if spec is None:
+        return None
+    return resolve_rule_ids([token for token in spec.split(",") if token.strip()])
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for cls in all_rules():
+            print(f"{cls.rule_id} {cls.name:24s} {cls.rationale}")
+        return 0
+
+    try:
+        select = _parse_rule_list(args.select)
+        ignore = _parse_rule_list(args.ignore)
+    except RuleLookupError as exc:
+        print(f"repro-lint: unknown rule {exc.args[0]!r}", file=sys.stderr)
+        return 2
+
+    try:
+        findings = lint_paths(
+            [Path(p) for p in args.paths], select=select, ignore=ignore
+        )
+    except FileNotFoundError as exc:
+        print(f"repro-lint: no such file or directory: {exc}", file=sys.stderr)
+        return 2
+
+    if args.write_baseline is not None:
+        write_baseline(args.write_baseline, findings)
+        print(
+            f"repro-lint: wrote baseline with {len(findings)} finding(s) "
+            f"to {args.write_baseline}"
+        )
+        return 0
+
+    if args.baseline is not None:
+        try:
+            findings = apply_baseline(findings, load_baseline(args.baseline))
+        except (OSError, ValueError) as exc:
+            print(f"repro-lint: cannot read baseline: {exc}", file=sys.stderr)
+            return 2
+
+    for finding in findings:
+        print(finding.render())
+
+    if args.statistics and findings:
+        counts = Counter(finding.rule_id for finding in findings)
+        for rule_id, count in sorted(counts.items()):
+            print(f"{count:6d} {rule_id}")
+
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

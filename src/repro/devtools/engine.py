@@ -1,0 +1,123 @@
+"""Lint engine: file discovery, two-pass rule execution, suppression.
+
+The engine walks the requested paths, parses each file once, runs every
+enabled rule's collection pass (cross-module facts), then the checking
+pass, and finally applies pragma suppressions.  Baseline subtraction is
+left to the caller (:mod:`repro.devtools.cli`) so library users get the
+raw findings.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.devtools.context import Module, Project
+from repro.devtools.findings import PARSE_ERROR_ID, Finding
+from repro.devtools.pragmas import filter_suppressed
+from repro.devtools.registry import Rule, all_rules
+
+__all__ = ["discover_files", "lint_paths"]
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".venv", "venv", "build", "dist"}
+
+
+def discover_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files and directories into a deduplicated list of .py files.
+
+    Raises ``FileNotFoundError`` for paths that do not exist so the CLI
+    can report usage errors (exit code 2) rather than silently linting
+    nothing.
+    """
+    seen: Dict[Path, None] = {}
+    for path in paths:
+        if path.is_file():
+            seen.setdefault(path.resolve(), None)
+        elif path.is_dir():
+            for candidate in sorted(path.rglob("*.py")):
+                if any(part in _SKIP_DIRS for part in candidate.parts):
+                    continue
+                seen.setdefault(candidate.resolve(), None)
+        else:
+            raise FileNotFoundError(path)
+    return list(seen)
+
+
+def _display_path(path: Path) -> str:
+    """Render ``path`` relative to the cwd when possible (stable output)."""
+    try:
+        rel = path.relative_to(Path.cwd())
+    except ValueError:
+        rel = Path(os.path.relpath(path, Path.cwd()))
+    return rel.as_posix()
+
+
+def _load_modules(
+    files: Iterable[Path], parse_failures: List[Finding]
+) -> List[Module]:
+    modules = []
+    for path in files:
+        rel = _display_path(path)
+        try:
+            source = path.read_text(encoding="utf-8")
+            tree = ast.parse(source, filename=str(path))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", 1) or 1
+            col = (getattr(exc, "offset", 1) or 1) - 1
+            parse_failures.append(
+                Finding(
+                    path=rel,
+                    line=line,
+                    col=max(col, 0),
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"cannot parse file: {getattr(exc, 'msg', exc)}",
+                )
+            )
+            continue
+        modules.append(Module(path=path, rel=rel, source=source, tree=tree))
+    return modules
+
+
+def _enabled_rules(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> List[Rule]:
+    rules = []
+    for cls in all_rules():
+        if select is not None and cls.rule_id not in select:
+            continue
+        if ignore is not None and cls.rule_id in ignore:
+            continue
+        rules.append(cls())
+    return rules
+
+
+def lint_paths(
+    paths: Sequence[Path],
+    *,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Lint ``paths`` and return pragma-filtered findings, sorted.
+
+    ``select``/``ignore`` take canonical rule ids (see
+    :func:`repro.devtools.registry.resolve_rule_ids`).  Unparseable
+    files surface as ``REPRO100`` findings rather than aborting the run.
+    """
+    parse_failures: List[Finding] = []
+    modules = _load_modules(discover_files(paths), parse_failures)
+    rules = _enabled_rules(select, ignore)
+
+    project = Project()
+    for rule in rules:
+        for module in modules:
+            rule.collect(module, project)
+
+    findings = list(parse_failures)
+    for module in modules:
+        module_findings: List[Finding] = []
+        for rule in rules:
+            module_findings.extend(rule.check(module, project))
+        findings.extend(filter_suppressed(module_findings, module.source))
+    return sorted(findings)

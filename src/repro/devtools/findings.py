@@ -1,0 +1,42 @@
+"""Finding model shared by every lint rule and the reporting layer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Finding", "PARSE_ERROR_ID"]
+
+#: Pseudo-rule id used for files the engine cannot parse.
+PARSE_ERROR_ID = "REPRO100"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic emitted by a rule.
+
+    Orders by ``(path, line, col, rule_id)`` so reports are stable and
+    baseline subtraction is deterministic.
+
+    Attributes
+    ----------
+    path:
+        Display path of the offending file (POSIX separators, relative
+        to the invocation directory when possible).
+    line / col:
+        1-based line and 0-based column of the offending node, matching
+        the ``ast`` convention used by flake8-style tools.
+    rule_id:
+        Stable identifier, e.g. ``REPRO104``.
+    message:
+        Human-readable description of the violation.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    def render(self) -> str:
+        """Format as ``path:line:col RULE-ID message`` for CLI output."""
+        return f"{self.path}:{self.line}:{self.col} {self.rule_id} {self.message}"

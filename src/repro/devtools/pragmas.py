@@ -1,0 +1,80 @@
+"""``# repro-lint: disable=...`` pragma parsing and suppression.
+
+Two forms are recognised:
+
+* ``# repro-lint: disable=REPRO104`` (or the symbolic rule name) on the
+  offending line suppresses matching findings reported on that line;
+* ``# repro-lint: disable-file=REPRO104`` anywhere in the file
+  suppresses the rule for the whole module.
+
+``disable=all`` suppresses every rule.  Multiple rules are separated by
+commas.  Tokens are matched case-insensitively against rule ids and
+symbolic names.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, List, Tuple
+
+from repro.devtools.findings import Finding
+from repro.devtools.registry import all_rules
+
+__all__ = ["parse_suppressions", "filter_suppressed"]
+
+_PRAGMA_RE = re.compile(
+    r"#\s*repro-lint\s*:\s*(?P<scope>disable(?:-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)"
+)
+
+
+def parse_suppressions(
+    source: str,
+) -> Tuple[Dict[int, FrozenSet[str]], FrozenSet[str]]:
+    """Extract per-line and file-level suppression tokens from source.
+
+    Returns ``(line_map, file_level)`` where ``line_map`` maps 1-based
+    line numbers to lowercased rule tokens and ``file_level`` applies to
+    every line.  Tokenisation is purely lexical: a pragma inside a
+    string literal is honoured, which is an acceptable trade for never
+    needing a tokenizer pass.
+    """
+    line_map: Dict[int, FrozenSet[str]] = {}
+    file_level: set = set()
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        tokens = frozenset(
+            token.strip().lower()
+            for token in match.group("rules").split(",")
+            if token.strip()
+        )
+        if match.group("scope") == "disable-file":
+            file_level |= tokens
+        else:
+            line_map[lineno] = line_map.get(lineno, frozenset()) | tokens
+    return line_map, frozenset(file_level)
+
+
+def _tokens_for(rule_id: str) -> FrozenSet[str]:
+    """All tokens that address ``rule_id`` (id, symbolic name, ``all``)."""
+    names = {cls.rule_id.lower(): cls.name.lower() for cls in all_rules()}
+    tokens = {"all", rule_id.lower()}
+    if rule_id.lower() in names:
+        tokens.add(names[rule_id.lower()])
+    return frozenset(tokens)
+
+
+def filter_suppressed(findings: List[Finding], source: str) -> List[Finding]:
+    """Drop findings silenced by pragmas in ``source``."""
+    line_map, file_level = parse_suppressions(source)
+    if not line_map and not file_level:
+        return findings
+    kept = []
+    for finding in findings:
+        active = line_map.get(finding.line, frozenset()) | file_level
+        if active and active & _tokens_for(finding.rule_id):
+            continue
+        kept.append(finding)
+    return kept

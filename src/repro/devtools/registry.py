@@ -1,0 +1,95 @@
+"""Pluggable rule registry.
+
+Rules self-register via the :func:`register` decorator at import time;
+:mod:`repro.devtools.rules` imports every built-in rule module so a
+plain ``import repro.devtools`` yields a fully populated registry.
+Third-party extensions follow the same pattern: subclass :class:`Rule`,
+decorate with ``@register``, and import the module before linting.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Type
+
+from repro.devtools.context import Module, Project
+from repro.devtools.findings import Finding
+
+__all__ = ["Rule", "register", "all_rules", "resolve_rule_ids", "RuleLookupError"]
+
+_RULE_ID_RE = re.compile(r"^REPRO\d{3}$")
+_registry: Dict[str, Type["Rule"]] = {}
+
+
+class RuleLookupError(KeyError):
+    """Raised when a ``--select``/``--ignore`` spec names no known rule."""
+
+
+class Rule:
+    """Base class for one static-analysis rule.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`collect` is an optional first pass over every module used to
+    build cross-module facts on the shared :class:`Project`.
+    """
+
+    #: Stable identifier (``REPRO1xx``) used in reports and baselines.
+    rule_id: str = ""
+    #: Symbolic name accepted by pragmas and ``--select``/``--ignore``.
+    name: str = ""
+    #: One-line rationale shown by ``repro-lint --list-rules``.
+    rationale: str = ""
+
+    def collect(self, module: Module, project: Project) -> None:
+        """First pass: record cross-module facts (default: nothing)."""
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        """Second pass: yield findings for one module."""
+        raise NotImplementedError
+
+    def finding(self, module: Module, node: ast.AST, message: str) -> Finding:
+        """Build a :class:`Finding` anchored at ``node``."""
+        return Finding(
+            path=module.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    if not _RULE_ID_RE.match(cls.rule_id):
+        raise ValueError(f"{cls.__name__}: rule_id must match REPRO<3 digits>")
+    if not cls.name:
+        raise ValueError(f"{cls.__name__}: rules need a symbolic name")
+    for existing in _registry.values():
+        if existing.rule_id == cls.rule_id or existing.name == cls.name:
+            raise ValueError(
+                f"{cls.__name__}: duplicate rule id/name "
+                f"({cls.rule_id}/{cls.name} clashes with {existing.__name__})"
+            )
+    _registry[cls.rule_id] = cls
+    return cls
+
+
+def all_rules() -> List[Type[Rule]]:
+    """Registered rule classes, ordered by rule id."""
+    return [_registry[rule_id] for rule_id in sorted(_registry)]
+
+
+def resolve_rule_ids(specs: List[str]) -> List[str]:
+    """Map user-supplied ids or symbolic names onto canonical rule ids."""
+    by_name = {cls.name.lower(): cls.rule_id for cls in _registry.values()}
+    resolved = []
+    for spec in specs:
+        token = spec.strip().lower()
+        if token.upper() in _registry:
+            resolved.append(token.upper())
+        elif token in by_name:
+            resolved.append(by_name[token])
+        else:
+            raise RuleLookupError(spec)
+    return resolved

@@ -1,0 +1,29 @@
+"""Built-in rule set for :mod:`repro.devtools`.
+
+Importing this package registers every built-in rule.  Each module
+holds one rule so new rules are additive: drop a module here, import it
+below, and the registry, CLI, pragma, and baseline machinery pick it up
+unchanged.
+"""
+
+from repro.devtools.rules import (  # noqa: F401  (imported for registration)
+    annotations,
+    bare_except,
+    dataclass_validation,
+    determinism,
+    float_compare,
+    mutable_defaults,
+    no_print,
+    unit_suffix,
+)
+
+__all__ = [
+    "annotations",
+    "bare_except",
+    "dataclass_validation",
+    "determinism",
+    "float_compare",
+    "mutable_defaults",
+    "no_print",
+    "unit_suffix",
+]

@@ -1,0 +1,83 @@
+"""REPRO108: complete type annotations on public planner/emulator APIs.
+
+The package ships ``py.typed``: downstream type-checkers trust our
+signatures.  In the modules the paper's error contract depends on
+(:mod:`repro.core`, :mod:`repro.placement`, :mod:`repro.emulator`),
+every public function must annotate every parameter and its return
+type, otherwise a caller can pass a percent where a fraction is
+expected and the type-checker stays silent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Union
+
+from repro.devtools.context import Module, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+
+__all__ = ["MissingAnnotationsRule"]
+
+_SCOPED_PACKAGES = ("core", "placement", "emulator")
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@register
+class MissingAnnotationsRule(Rule):
+    rule_id = "REPRO108"
+    name = "missing-annotations"
+    rationale = (
+        "public core/placement/emulator APIs ship py.typed type "
+        "information; annotate every parameter and the return type"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not module.in_package(*_SCOPED_PACKAGES):
+            return
+        yield from self._check_body(module, module.tree.body)
+
+    def _check_body(
+        self, module: Module, body: List[ast.stmt]
+    ) -> Iterator[Finding]:
+        """Walk public module-level and class-level definitions only.
+
+        Nested functions are implementation details and exempt; private
+        names (leading underscore) are exempt by definition.
+        """
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if not stmt.name.startswith("_"):
+                    yield from self._check_function(module, stmt)
+            elif isinstance(stmt, ast.ClassDef) and not stmt.name.startswith("_"):
+                yield from self._check_body(module, stmt.body)
+
+    def _check_function(
+        self, module: Module, node: _FunctionNode
+    ) -> Iterator[Finding]:
+        args = node.args
+        params = [*args.posonlyargs, *args.args, *args.kwonlyargs]
+        if args.vararg is not None:
+            params.append(args.vararg)
+        if args.kwarg is not None:
+            params.append(args.kwarg)
+        missing = [
+            param.arg
+            for param in params
+            if param.annotation is None and param.arg not in ("self", "cls")
+        ]
+        if missing:
+            yield self.finding(
+                module,
+                node,
+                f"public function {node.name}() is missing parameter "
+                f"annotation(s): {', '.join(missing)}",
+            )
+        if node.returns is None:
+            yield self.finding(
+                module,
+                node,
+                f"public function {node.name}() is missing its return "
+                "annotation",
+            )

@@ -1,0 +1,86 @@
+"""REPRO103: forbid bare and silently-overbroad exception handlers.
+
+A bare ``except:`` (or ``except BaseException:``) catches
+``KeyboardInterrupt`` and ``SystemExit``, turning an aborted experiment
+into a half-written result set.  ``except Exception: pass`` is flagged
+too: swallowing every error hides exactly the capacity-accounting bugs
+the emulator's error contract exists to catch.  Catch the narrowest
+exception the operation can raise (:mod:`repro.exceptions` defines the
+domain hierarchy).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.context import Module, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+
+__all__ = ["BareExceptRule"]
+
+
+@register
+class BareExceptRule(Rule):
+    rule_id = "REPRO103"
+    name = "bare-except"
+    rationale = (
+        "bare/overbroad handlers swallow interrupts and real bugs; "
+        "catch the narrowest exception type"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:' catches KeyboardInterrupt/SystemExit; "
+                    "name the exception type",
+                )
+            elif _names_base_exception(node.type):
+                yield self.finding(
+                    module,
+                    node,
+                    "'except BaseException:' catches interpreter-exit "
+                    "signals; name the exception type",
+                )
+            elif _names_exception(node.type) and _swallows(node):
+                yield self.finding(
+                    module,
+                    node,
+                    "'except Exception: pass' silently swallows every "
+                    "error; narrow the type or handle it",
+                )
+
+
+def _names_base_exception(node: ast.AST) -> bool:
+    return _matches(node, "BaseException")
+
+
+def _names_exception(node: ast.AST) -> bool:
+    return _matches(node, "Exception")
+
+
+def _matches(node: ast.AST, name: str) -> bool:
+    if isinstance(node, ast.Tuple):
+        return any(_matches(element, name) for element in node.elts)
+    if isinstance(node, ast.Attribute):
+        return node.attr == name
+    return isinstance(node, ast.Name) and node.id == name
+
+
+def _swallows(handler: ast.ExceptHandler) -> bool:
+    """True when the handler body does nothing at all."""
+    return all(
+        isinstance(stmt, ast.Pass)
+        or (
+            isinstance(stmt, ast.Expr)
+            and isinstance(stmt.value, ast.Constant)
+            and stmt.value.value is Ellipsis
+        )
+        for stmt in handler.body
+    )

@@ -1,0 +1,75 @@
+"""REPRO106: resource-carrying dataclasses must validate themselves.
+
+Every dataclass in :mod:`repro.infrastructure` / :mod:`repro.workloads`
+whose fields carry unit suffixes (``memory_gb``, ``cpu_mhz``, ...) is a
+capacity-accounting input: a negative capacity or NaN demand admitted
+here propagates through sizing and placement and finally shows up as
+inexplicable emulator error.  Such classes must define
+``__post_init__`` and reject invalid values at construction time, the
+pattern :class:`repro.infrastructure.VMDemand` establishes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List
+
+from repro.devtools.asthelpers import terminal_name, unit_suffix
+from repro.devtools.context import Module, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+
+__all__ = ["UnvalidatedDataclassRule"]
+
+_SCOPED_PACKAGES = ("infrastructure", "workloads")
+
+
+@register
+class UnvalidatedDataclassRule(Rule):
+    rule_id = "REPRO106"
+    name = "unvalidated-dataclass"
+    rationale = (
+        "dataclasses holding unit-suffixed resource fields must define "
+        "__post_init__ validation (bad capacities corrupt accounting)"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if not module.in_package(*_SCOPED_PACKAGES):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ClassDef) or not _is_dataclass(node):
+                continue
+            resource_fields = _resource_fields(node)
+            if not resource_fields:
+                continue
+            has_post_init = any(
+                isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                and stmt.name == "__post_init__"
+                for stmt in node.body
+            )
+            if not has_post_init:
+                fields = ", ".join(resource_fields)
+                yield self.finding(
+                    module,
+                    node,
+                    f"dataclass {node.name} has resource field(s) {fields} "
+                    "but no __post_init__ validation",
+                )
+
+
+def _resource_fields(node: ast.ClassDef) -> List[str]:
+    return [
+        stmt.target.id
+        for stmt in node.body
+        if isinstance(stmt, ast.AnnAssign)
+        and isinstance(stmt.target, ast.Name)
+        and unit_suffix(stmt.target.id) is not None
+    ]
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        if terminal_name(target) == "dataclass":
+            return True
+    return False

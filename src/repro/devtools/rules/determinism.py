@@ -1,0 +1,186 @@
+"""REPRO101: forbid global / unseeded random number generation.
+
+The paper's results are reproducible only if every stochastic component
+(workload generation, migration reliability sampling, monitoring noise)
+draws from an explicitly seeded ``numpy.random.Generator`` that the
+caller threads through.  Global state — ``np.random.rand``,
+``np.random.seed``, the stdlib ``random`` module, or an *unseeded*
+``default_rng()`` — makes two "identical" runs diverge silently.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator
+
+from repro.devtools.asthelpers import dotted_name
+from repro.devtools.context import Module, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+
+__all__ = ["GlobalRngRule"]
+
+#: numpy.random attributes that are fine to *call* because they build
+#: explicitly seeded generators (when given a seed — the zero-argument
+#: forms draw OS entropy and are flagged separately).
+_SEEDED_FACTORIES = {
+    "default_rng",
+    "Generator",
+    "SeedSequence",
+    "BitGenerator",
+    "PCG64",
+    "PCG64DXSM",
+    "Philox",
+    "SFC64",
+    "MT19937",
+    "RandomState",  # legacy but seedable; unseeded use is still flagged
+}
+
+#: stdlib ``random`` module functions that mutate/read the hidden
+#: global Mersenne-Twister instance.
+_STDLIB_GLOBAL_FUNCS = {
+    "seed",
+    "random",
+    "uniform",
+    "randint",
+    "randrange",
+    "getrandbits",
+    "randbytes",
+    "choice",
+    "choices",
+    "sample",
+    "shuffle",
+    "gauss",
+    "normalvariate",
+    "lognormvariate",
+    "expovariate",
+    "betavariate",
+    "gammavariate",
+    "paretovariate",
+    "vonmisesvariate",
+    "weibullvariate",
+    "triangular",
+}
+
+
+@register
+class GlobalRngRule(Rule):
+    rule_id = "REPRO101"
+    name = "global-rng"
+    rationale = (
+        "global or unseeded RNG use breaks run-to-run determinism; "
+        "thread a seeded numpy.random.Generator through instead"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        aliases = _import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom):
+                yield from self._check_import_from(module, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(module, node, aliases)
+
+    def _check_import_from(
+        self, module: Module, node: ast.ImportFrom
+    ) -> Iterator[Finding]:
+        if node.module == "random":
+            bad = [a.name for a in node.names if a.name in _STDLIB_GLOBAL_FUNCS]
+            if bad:
+                yield self.finding(
+                    module,
+                    node,
+                    "importing global-state sampler(s) from the random "
+                    f"module ({', '.join(bad)}); use a seeded "
+                    "numpy.random.Generator parameter instead",
+                )
+        elif node.module == "numpy.random":
+            bad = [
+                a.name for a in node.names if a.name not in _SEEDED_FACTORIES
+            ]
+            if bad:
+                yield self.finding(
+                    module,
+                    node,
+                    "importing global numpy.random sampler(s) "
+                    f"({', '.join(bad)}); use a seeded Generator instead",
+                )
+
+    def _check_call(
+        self, module: Module, node: ast.Call, aliases: Dict[str, str]
+    ) -> Iterator[Finding]:
+        parts = dotted_name(node.func)
+        if parts is None:
+            return
+        root = aliases.get(parts[0])
+        canonical = [root, *parts[1:]] if root else parts
+        if len(canonical) >= 2 and canonical[0] == "numpy.random":
+            attr = canonical[1]
+        elif (
+            len(canonical) >= 3
+            and canonical[0] == "numpy"
+            and canonical[1] == "random"
+        ):
+            attr = canonical[2]
+        elif canonical[0] == "random" and len(canonical) == 2:
+            if canonical[1] in _STDLIB_GLOBAL_FUNCS:
+                yield self.finding(
+                    module,
+                    node,
+                    f"random.{canonical[1]}() uses the hidden global RNG; "
+                    "thread a seeded numpy.random.Generator through instead",
+                )
+            elif canonical[1] == "Random" and not node.args:
+                yield self.finding(
+                    module,
+                    node,
+                    "random.Random() without a seed is nondeterministic; "
+                    "pass an explicit seed",
+                )
+            return
+        else:
+            return
+        if attr in _SEEDED_FACTORIES:
+            if not node.args and not node.keywords:
+                yield self.finding(
+                    module,
+                    node,
+                    f"numpy.random.{attr}() without a seed draws OS entropy "
+                    "and is nondeterministic; pass an explicit seed",
+                )
+        else:
+            yield self.finding(
+                module,
+                node,
+                f"numpy.random.{attr}() uses numpy's global RNG state; "
+                "use a seeded numpy.random.Generator instead",
+            )
+
+
+def _import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names onto the canonical modules they denote.
+
+    Covers ``import numpy as np``, ``import numpy.random as npr``,
+    ``from numpy import random``, ``import random``, and their aliased
+    variants.  A ``from numpy import random`` binding shadows the stdlib
+    module under the same name, which the mapping resolves correctly
+    because later bindings overwrite earlier ones just as at runtime.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    aliases[alias.asname or "numpy"] = "numpy"
+                elif alias.name == "numpy.random":
+                    if alias.asname:
+                        aliases[alias.asname] = "numpy.random"
+                    else:
+                        aliases["numpy"] = "numpy"
+                elif alias.name == "random":
+                    aliases[alias.asname or "random"] = "random"
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        aliases[alias.asname or "random"] = "numpy.random"
+    return aliases

@@ -1,0 +1,77 @@
+"""REPRO104: forbid exact equality on capacity/utilization floats.
+
+Sized demands, utilizations, and capacities are sums and products of
+floats; testing them with ``==``/``!=`` makes placement decisions flip
+on 1-ulp rounding differences, which surfaces as irreproducible
+emulator error.  Use :func:`repro.numerics.approx_eq` /
+:func:`repro.numerics.approx_ne` (or :func:`math.isclose`) so the
+tolerance is explicit.
+
+Comparisons against ±infinity are exempt — infinity is an exact
+sentinel, not an arithmetic result.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator, Optional
+
+from repro.devtools.asthelpers import is_infinity, terminal_name
+from repro.devtools.context import Module, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+
+__all__ = ["FloatEqualityRule"]
+
+#: Identifier patterns that mark a value as capacity/utilization-like.
+_RESOURCE_NAME_RE = re.compile(
+    r"(_mbps|_gbps|_mb|_gb|_mhz|_frac|_pct|_rpe2|_watts"
+    r"|util|utilization|capacity|demand|headroom|load)s?$",
+    re.IGNORECASE,
+)
+
+
+@register
+class FloatEqualityRule(Rule):
+    rule_id = "REPRO104"
+    name = "float-equality"
+    rationale = (
+        "exact ==/!= on capacity/utilization floats flips on rounding "
+        "noise; use repro.numerics.approx_eq/approx_ne"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if is_infinity(left) or is_infinity(right):
+                    continue
+                reason = _float_reason(left) or _float_reason(right)
+                if reason is not None:
+                    symbol = "==" if isinstance(op, ast.Eq) else "!="
+                    helper = (
+                        "approx_eq" if isinstance(op, ast.Eq) else "approx_ne"
+                    )
+                    yield self.finding(
+                        module,
+                        node,
+                        f"exact '{symbol}' on {reason}; use "
+                        f"repro.numerics.{helper} (or math.isclose)",
+                    )
+                    break  # one finding per comparison chain is enough
+
+
+def _float_reason(node: ast.AST) -> Optional[str]:
+    """Why ``node`` looks like a float capacity/utilization value."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, float):
+        return f"float literal {node.value!r}"
+    name = terminal_name(node)
+    if name is not None and _RESOURCE_NAME_RE.search(name):
+        return f"capacity/utilization value {name!r}"
+    return None

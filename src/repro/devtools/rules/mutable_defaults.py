@@ -1,0 +1,80 @@
+"""REPRO102: forbid mutable default arguments.
+
+A mutable default is evaluated once at definition time and shared by
+every call; state accumulated by one planning run then leaks into the
+next, which in this codebase typically means phantom VMs or stale
+placements.  Use ``None`` (or an immutable tuple) and construct the
+container inside the function.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.devtools.asthelpers import terminal_name
+from repro.devtools.context import Module, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+
+__all__ = ["MutableDefaultRule"]
+
+_MUTABLE_LITERALS = (
+    ast.List,
+    ast.Dict,
+    ast.Set,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+)
+
+_MUTABLE_FACTORIES = {
+    "list",
+    "dict",
+    "set",
+    "bytearray",
+    "deque",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+}
+
+
+@register
+class MutableDefaultRule(Rule):
+    rule_id = "REPRO102"
+    name = "mutable-default"
+    rationale = (
+        "mutable defaults are shared across calls; default to None and "
+        "build the container inside the function"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                defaults = [
+                    *node.args.defaults,
+                    *(d for d in node.args.kw_defaults if d is not None),
+                ]
+                for default in defaults:
+                    description = _describe_mutable(default)
+                    if description is not None:
+                        func = getattr(node, "name", "<lambda>")
+                        yield self.finding(
+                            module,
+                            default,
+                            f"{func}() has a mutable default ({description}); "
+                            "use None and construct inside the function",
+                        )
+
+
+def _describe_mutable(node: ast.AST) -> Optional[str]:
+    if isinstance(node, _MUTABLE_LITERALS):
+        return type(node).__name__.lower().replace("comp", " comprehension")
+    if isinstance(node, ast.Call):
+        callee = terminal_name(node.func)
+        if callee in _MUTABLE_FACTORIES:
+            return f"{callee}()"
+    return None

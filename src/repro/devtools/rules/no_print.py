@@ -1,0 +1,51 @@
+"""REPRO107: no ``print()`` in library code.
+
+Library modules are consumed programmatically (and, per ROADMAP, by
+high-throughput services); stray prints corrupt machine-readable output
+and bypass any logging configuration.  Only the CLI front-ends
+(``cli.py`` modules) and the report formatter
+(``experiments/formatting.py``) write to stdout by design.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.context import Module, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+
+__all__ = ["StrayPrintRule"]
+
+_ALLOWED_BASENAMES = ("cli.py",)
+_ALLOWED_SUFFIXES = ("experiments/formatting.py",)
+
+
+@register
+class StrayPrintRule(Rule):
+    rule_id = "REPRO107"
+    name = "stray-print"
+    rationale = (
+        "print() in library code corrupts programmatic output; only CLI "
+        "and formatting modules may write to stdout"
+    )
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        if module.basename in _ALLOWED_BASENAMES:
+            return
+        posix_path = module.path.as_posix()
+        if any(posix_path.endswith(suffix) for suffix in _ALLOWED_SUFFIXES):
+            return
+        for node in ast.walk(module.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    module,
+                    node,
+                    "print() in library code; return the value or use the "
+                    "CLI/formatting layer for output",
+                )

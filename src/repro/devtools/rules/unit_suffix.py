@@ -1,0 +1,183 @@
+"""REPRO105: unit-suffix discipline across assignments, arithmetic, calls.
+
+Variables and parameters carrying a unit suffix (``_mb``, ``_gb``,
+``_mhz``, ``_mbps``, ``_frac``, ``_pct``, ``_rpe2``, ``_watts``) may
+only flow into slots carrying the *same* suffix.  Passing
+``memory_mb`` where a callee expects ``memory_gb`` is the classic
+silent 1024× capacity-accounting error; mixing ``_frac`` (0–1) with
+``_pct`` (0–100) is the silent 100× utilization error.  Explicit
+conversions are naturally exempt because arithmetic expressions carry
+no suffix (``memory_mb / 1024.0`` can be assigned to ``memory_gb``).
+
+Checked flows:
+
+* keyword arguments: ``f(memory_gb=server_mb)``;
+* positional arguments, when the callee's signature was collected
+  unambiguously during the project-wide pass (plain functions, methods,
+  and dataclass constructors anywhere in the linted tree);
+* assignments: ``memory_gb = memory_mb``;
+* additive arithmetic and comparisons: ``used_mb + free_gb``,
+  ``demand_mb > capacity_gb`` (multiplication/division are conversion
+  idioms and therefore exempt).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.devtools.asthelpers import terminal_name, unit_suffix
+from repro.devtools.context import Module, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+
+__all__ = ["UnitSuffixRule"]
+
+
+@register
+class UnitSuffixRule(Rule):
+    rule_id = "REPRO105"
+    name = "unit-suffix"
+    rationale = (
+        "unit-suffixed values (_mb/_gb/_mhz/_frac/_pct/...) must only "
+        "flow into same-suffix slots; convert explicitly"
+    )
+
+    def collect(self, module: Module, project: Project) -> None:
+        """Index callable signatures for positional-argument checking."""
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                params = [
+                    arg.arg for arg in (*node.args.posonlyargs, *node.args.args)
+                ]
+                project.record_signature(node.name, params)
+            elif isinstance(node, ast.ClassDef) and _is_dataclass(node):
+                fields = [
+                    stmt.target.id
+                    for stmt in node.body
+                    if isinstance(stmt, ast.AnnAssign)
+                    and isinstance(stmt.target, ast.Name)
+                ]
+                project.record_signature(node.name, fields)
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(module, project, node)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_assign(module, node)
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pairing(
+                    module, node, node.left, node.right, "added/subtracted with"
+                )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for left, right in zip(operands, operands[1:]):
+                    yield from self._check_pairing(
+                        module, node, left, right, "compared with"
+                    )
+
+    # ------------------------------------------------------------------
+
+    def _check_call(
+        self, module: Module, project: Project, node: ast.Call
+    ) -> Iterator[Finding]:
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            yield from self._check_slot(module, node, keyword.arg, keyword.value)
+        for param, value in _resolved_positionals(project, node):
+            yield from self._check_slot(module, node, param, value)
+
+    def _check_slot(
+        self, module: Module, node: ast.Call, param: str, value: ast.AST
+    ) -> Iterator[Finding]:
+        expected = unit_suffix(param)
+        actual_name = terminal_name(value)
+        actual = unit_suffix(actual_name) if actual_name else None
+        if expected and actual and expected != actual:
+            callee = terminal_name(node.func) or "<call>"
+            yield self.finding(
+                module,
+                node,
+                f"passing '{actual_name}' (unit '{actual}') to parameter "
+                f"'{param}' of {callee}() (unit '{expected}'); convert "
+                "explicitly",
+            )
+
+    def _check_assign(
+        self, module: Module, node: ast.stmt
+    ) -> Iterator[Finding]:
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        else:  # AnnAssign
+            targets, value = [node.target], node.value
+        if value is None:
+            return
+        value_name = terminal_name(value)
+        actual = unit_suffix(value_name) if value_name else None
+        if actual is None:
+            return
+        for target in targets:
+            target_name = terminal_name(target)
+            expected = unit_suffix(target_name) if target_name else None
+            if expected and expected != actual:
+                yield self.finding(
+                    module,
+                    node,
+                    f"assigning '{value_name}' (unit '{actual}') to "
+                    f"'{target_name}' (unit '{expected}'); convert explicitly",
+                )
+
+    def _check_pairing(
+        self,
+        module: Module,
+        node: ast.AST,
+        left: ast.AST,
+        right: ast.AST,
+        verb: str,
+    ) -> Iterator[Finding]:
+        left_name, right_name = terminal_name(left), terminal_name(right)
+        left_unit = unit_suffix(left_name) if left_name else None
+        right_unit = unit_suffix(right_name) if right_name else None
+        if left_unit and right_unit and left_unit != right_unit:
+            yield self.finding(
+                module,
+                node,
+                f"'{left_name}' (unit '{left_unit}') {verb} '{right_name}' "
+                f"(unit '{right_unit}'); convert explicitly",
+            )
+
+
+def _resolved_positionals(
+    project: Project, node: ast.Call
+) -> List[Tuple[str, ast.AST]]:
+    """Pair positional args with parameter names when unambiguous."""
+    callee = terminal_name(node.func)
+    if callee is None:
+        return []
+    params = project.lookup_signature(callee)
+    if params is None:
+        return []
+    if isinstance(node.func, ast.Attribute) and params[:1] in (
+        ("self",),
+        ("cls",),
+    ):
+        params = params[1:]
+    pairs = []
+    for index, arg in enumerate(node.args):
+        if isinstance(arg, ast.Starred) or index >= len(params):
+            break
+        pairs.append((params[index], arg))
+    return pairs
+
+
+def _is_dataclass(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = terminal_name(target)
+        if name == "dataclass":
+            return True
+    return False

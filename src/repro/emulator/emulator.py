@@ -31,6 +31,7 @@ from repro.exceptions import EmulationError
 from repro.infrastructure.datacenter import Datacenter
 from repro.infrastructure.power import LinearPowerModel
 from repro.infrastructure.server import PhysicalServer
+from repro.numerics import approx_ne
 from repro.sizing.estimator import VirtualizationOverhead
 from repro.workloads.trace import TraceSet
 
@@ -74,7 +75,7 @@ class ConsolidationEmulator:
             for trace in self.trace_set
         }
         self._n_hours = self.trace_set.n_points
-        if self.trace_set.interval_hours != 1.0:
+        if approx_ne(self.trace_set.interval_hours, 1.0):
             raise EmulationError(
                 "emulator expects hourly traces, got "
                 f"{self.trace_set.interval_hours}h samples"

@@ -23,6 +23,7 @@ from typing import Iterator, Tuple
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.numerics import approx_ne
 from repro.workloads import models
 from repro.workloads.trace import ServerTrace
 
@@ -84,7 +85,7 @@ class MonitoringAgent:
         seed: int = 0,
         drop_probability: float = 0.0,
     ) -> None:
-        if trace.interval_hours != 1.0:
+        if approx_ne(trace.interval_hours, 1.0):
             raise ConfigurationError(
                 "MonitoringAgent needs hourly ground-truth traces"
             )

@@ -26,6 +26,7 @@ from typing import Optional
 import numpy as np
 
 from repro.exceptions import ConfigurationError
+from repro.numerics import approx_eq
 from repro.workloads.trace import HOURS_PER_DAY
 
 __all__ = [
@@ -242,7 +243,7 @@ def ewma_smooth(values: np.ndarray, alpha: float) -> np.ndarray:
     values = np.asarray(values, dtype=float)
     if values.ndim != 1:
         raise ConfigurationError("ewma_smooth expects a 1-D array")
-    if alpha == 1.0:
+    if approx_eq(alpha, 1.0):
         return values.copy()
     smoothed = np.empty_like(values)
     smoothed[0] = values[0]

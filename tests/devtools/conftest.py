@@ -1,0 +1,12 @@
+"""Shared fixtures for the devtools (repro-lint) test suite."""
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+
+
+@pytest.fixture
+def fixtures_dir() -> Path:
+    return FIXTURES

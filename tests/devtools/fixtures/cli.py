@@ -1,0 +1,6 @@
+"""Fixture: a ``cli.py`` module, where REPRO107 allows print(). Never imported."""
+
+
+def main() -> int:
+    print("CLI output is allowed here")
+    return 0

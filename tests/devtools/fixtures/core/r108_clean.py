@@ -1,0 +1,23 @@
+"""Fixture: signatures REPRO108 must accept. Never imported."""
+
+from typing import List
+
+
+def sized_demand(cpu: float, memory_gb: float) -> float:
+    return cpu + memory_gb
+
+
+class Planner:
+    def plan(self, horizon: int) -> List[int]:
+        def helper(x):  # nested functions are exempt
+            return x
+
+        return [helper(hour) for hour in range(horizon)]
+
+    def _internal(self, x):  # private methods are exempt
+        return x
+
+
+class _PrivatePlanner:
+    def plan(self, horizon):  # private class: exempt
+        return horizon

@@ -1,0 +1,17 @@
+"""Fixture: REPRO108 (missing-annotations) violations. Never imported.
+
+Lives under a ``core/`` directory because the rule is scoped to the
+packages whose signatures ship type information.
+"""
+
+
+def sized_demand(cpu, memory_gb: float):  # flagged: param + return
+    return cpu + memory_gb
+
+
+class Planner:
+    def plan(self, horizon):  # flagged: param + return
+        return horizon
+
+    def _internal(self, x):  # private: exempt
+        return x

@@ -1,0 +1,20 @@
+"""Fixture: dataclass shapes REPRO106 must accept. Never imported."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServerCapacity:
+    server_id: str
+    memory_gb: float
+    cpu_mhz: float
+
+    def __post_init__(self) -> None:
+        if self.memory_gb <= 0 or self.cpu_mhz <= 0:
+            raise ValueError("capacities must be positive")
+
+
+@dataclass(frozen=True)
+class Label:  # no resource fields: validation not required
+    key: str
+    value: str

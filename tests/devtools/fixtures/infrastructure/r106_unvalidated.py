@@ -1,0 +1,14 @@
+"""Fixture: REPRO106 (unvalidated-dataclass) violation. Never imported.
+
+Lives under an ``infrastructure/`` directory because the rule is scoped
+to the packages that define capacity-accounting inputs.
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ServerCapacity:  # flagged: resource fields, no __post_init__
+    server_id: str
+    memory_gb: float
+    cpu_mhz: float

@@ -1,0 +1,21 @@
+"""Fixture: pragma suppression shapes. Never imported.
+
+Line 1 of real violations below is suppressed by rule id, the next by
+symbolic name, one by ``all``, and REPRO107 is disabled file-wide.
+One unsuppressed violation remains so tests can prove pragmas are
+per-rule, not blanket.
+"""
+
+# repro-lint: disable-file=stray-print
+
+import numpy as np
+
+
+def noisy(memory_gb: float) -> bool:
+    print("suppressed by the file-level pragma")
+    by_id = np.random.rand(3)  # repro-lint: disable=REPRO101
+    by_name = memory_gb == 4.0  # repro-lint: disable=float-equality
+    by_all = np.random.rand(3)  # repro-lint: disable=all
+    remaining = memory_gb != 2.0  # still flagged: pragma names another rule
+    wrong_rule = np.random.rand(3)  # repro-lint: disable=REPRO104
+    return bool(by_id.any() or by_name or by_all.any() or remaining or wrong_rule.any())

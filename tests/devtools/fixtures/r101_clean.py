@@ -1,0 +1,16 @@
+"""Fixture: seeded-generator idioms REPRO101 must accept. Never imported."""
+
+import random
+
+import numpy as np
+
+
+def sample(rng: np.random.Generator) -> float:
+    return float(rng.uniform(0.0, 1.0))
+
+
+seed_sequence = np.random.SeedSequence(1234)
+rng = np.random.default_rng(seed_sequence.spawn(1)[0])
+legacy_but_seeded = np.random.Generator(np.random.PCG64(7))
+stdlib_seeded = random.Random(7)
+value = sample(rng)

@@ -1,0 +1,12 @@
+"""Fixture: every REPRO101 (global-rng) violation shape. Never imported."""
+
+import random
+
+import numpy as np
+from random import shuffle  # noqa: F401  — flagged: global-state import
+
+values = np.random.rand(10)  # flagged: legacy global sampler
+np.random.seed(42)  # flagged: mutates global state
+unseeded = np.random.default_rng()  # flagged: OS-entropy seeding
+jitter = random.uniform(0.0, 1.0)  # flagged: stdlib global RNG
+unseeded_instance = random.Random()  # flagged: unseeded instance

@@ -1,0 +1,17 @@
+"""Fixture: default-argument idioms REPRO102 must accept. Never imported."""
+
+from typing import Iterable, Optional, Tuple
+
+
+def none_default(vms: Optional[list] = None) -> list:
+    return [] if vms is None else list(vms)
+
+
+def immutable_defaults(
+    hosts: Tuple[str, ...] = (), name: str = "pool", scale: float = 1.0
+) -> Tuple[str, ...]:
+    return hosts
+
+
+def iterable_param(constraints: Iterable[str] = frozenset()) -> int:
+    return len(list(constraints))

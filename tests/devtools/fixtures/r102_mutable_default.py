@@ -1,0 +1,19 @@
+"""Fixture: REPRO102 (mutable-default) violations. Never imported."""
+
+from collections import defaultdict
+
+
+def literal_list(vms=[]):  # flagged
+    return vms
+
+
+def literal_dict(capacities={}):  # flagged
+    return capacities
+
+
+def factory_call(queue=list()):  # flagged
+    return queue
+
+
+def keyword_only(*, index=defaultdict(list)):  # flagged
+    return index

@@ -1,0 +1,23 @@
+"""Fixture: REPRO103 (bare-except) violations. Never imported."""
+
+
+def bare() -> int:
+    try:
+        return 1
+    except:  # flagged: bare
+        return 0
+
+
+def base_exception() -> int:
+    try:
+        return 1
+    except BaseException:  # flagged: catches interpreter-exit signals
+        return 0
+
+
+def swallows() -> int:
+    try:
+        return 1
+    except Exception:  # flagged: silently swallows everything
+        pass
+    return 0

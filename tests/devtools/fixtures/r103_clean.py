@@ -1,0 +1,16 @@
+"""Fixture: exception handling REPRO103 must accept. Never imported."""
+
+
+def narrow() -> int:
+    try:
+        return int("1")
+    except ValueError:
+        return 0
+
+
+def broad_but_handled(log: list) -> int:
+    try:
+        return int("1")
+    except Exception as exc:  # broad, but does something with the error
+        log.append(exc)
+        raise

@@ -1,0 +1,15 @@
+"""Fixture: comparisons REPRO104 must accept. Never imported."""
+
+import math
+
+from repro.numerics import approx_eq
+
+
+def checks(cpu_util: float, memory_gb: float, count: int) -> bool:
+    a = approx_eq(cpu_util, 0.5)  # tolerance helper, not ==
+    b = math.isclose(memory_gb, 4.0)
+    c = count == 0  # int equality is exact
+    d = memory_gb == float("inf")  # infinity sentinel is exact
+    e = cpu_util <= 0.5  # ordering comparisons are fine
+    f = math.inf != memory_gb  # infinity on either side
+    return a or b or c or d or e or f

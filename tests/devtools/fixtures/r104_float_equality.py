@@ -1,0 +1,13 @@
+"""Fixture: REPRO104 (float-equality) violations. Never imported."""
+
+
+def checks(cpu_util: float, memory_gb: float, alpha: float) -> bool:
+    a = cpu_util == 0.5  # flagged: float literal
+    b = memory_gb != 4.0  # flagged: literal and resource name
+    c = cpu_util == alpha  # flagged: utilization name
+    d = alpha != sized_demand()  # flagged: resource-named callee
+    return a or b or c or d
+
+
+def sized_demand() -> float:
+    return 1.0

@@ -1,0 +1,29 @@
+"""Fixture: unit flows REPRO105 must accept. Never imported."""
+
+from dataclasses import dataclass
+
+
+def reserve(memory_gb: float, cpu_mhz: float) -> float:
+    return memory_gb * 2.0 + cpu_mhz / 1000.0
+
+
+@dataclass
+class Demand:
+    memory_gb: float
+    util_frac: float
+
+
+def build(memory_mb: float, util_pct: float) -> Demand:
+    # Explicit conversions carry no suffix, so they may flow anywhere.
+    return Demand(memory_mb / 1024.0, util_pct / 100.0)
+
+
+def call_sites(memory_gb: float, util_frac: float) -> float:
+    sized = reserve(memory_gb=memory_gb, cpu_mhz=2000.0)
+    headroom_gb = memory_gb
+    over = util_frac > threshold_frac()
+    return sized + headroom_gb + float(over)
+
+
+def threshold_frac() -> float:
+    return 0.8

@@ -1,0 +1,28 @@
+"""Fixture: REPRO105 (unit-suffix) violations. Never imported."""
+
+from dataclasses import dataclass
+
+
+def reserve(memory_gb: float, cpu_mhz: float) -> float:
+    return memory_gb + cpu_mhz  # flagged: gb added to mhz
+
+
+@dataclass
+class Demand:
+    memory_gb: float
+    util_frac: float
+
+
+def build(memory_mb: float, util_pct: float) -> Demand:
+    return Demand(memory_mb, util_pct)  # flagged twice: positional mb->gb, pct->frac
+
+
+def call_sites(memory_mb: float, util_pct: float) -> float:
+    sized = reserve(memory_gb=memory_mb, cpu_mhz=2000.0)  # flagged: kwarg mb->gb
+    headroom_gb = memory_mb  # flagged: assignment mb->gb
+    over = util_pct > threshold_frac()  # flagged: pct compared with frac
+    return sized + headroom_gb + float(over)
+
+
+def threshold_frac() -> float:
+    return 0.8

@@ -1,0 +1,6 @@
+"""Fixture: REPRO107 (stray-print) violations. Never imported."""
+
+
+def report(result: object) -> None:
+    print(result)  # flagged: library code writes to stdout
+    print("done")  # flagged

@@ -1,0 +1,77 @@
+"""Baseline files: snapshot existing debt, fail only on new findings."""
+
+import json
+from pathlib import Path
+
+from repro.devtools import (
+    apply_baseline,
+    baseline_counts,
+    lint_paths,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.cli import main
+
+_VIOLATION = "import numpy as np\nx = np.random.rand(3)\n"
+
+
+def test_roundtrip_suppresses_recorded_debt(tmp_path: Path):
+    module = tmp_path / "module.py"
+    module.write_text(_VIOLATION)
+    findings = lint_paths([module])
+    assert len(findings) == 1
+
+    baseline_file = tmp_path / "baseline.json"
+    write_baseline(baseline_file, findings)
+    baseline = load_baseline(baseline_file)
+    assert apply_baseline(findings, baseline) == []
+
+
+def test_new_findings_exceed_the_baseline_budget(tmp_path: Path):
+    module = tmp_path / "module.py"
+    module.write_text(_VIOLATION)
+    baseline = baseline_counts(lint_paths([module]))
+
+    module.write_text(_VIOLATION + "y = np.random.rand(3)\n")
+    remaining = apply_baseline(lint_paths([module]), baseline)
+    # The earliest finding is absorbed by the budget; the new one stays.
+    assert [f.line for f in remaining] == [3]
+
+
+def test_baseline_is_per_file_and_per_rule(tmp_path: Path):
+    module = tmp_path / "module.py"
+    module.write_text(_VIOLATION)
+    baseline = baseline_counts(lint_paths([module]))
+
+    other = tmp_path / "other.py"
+    other.write_text(_VIOLATION)
+    remaining = apply_baseline(lint_paths([other]), baseline)
+    assert len(remaining) == 1  # other.py's debt was never accepted
+
+
+def test_cli_write_then_apply_baseline(tmp_path: Path, capsys):
+    module = tmp_path / "module.py"
+    module.write_text(_VIOLATION)
+    baseline_file = tmp_path / "baseline.json"
+
+    assert main([str(module), "--write-baseline", str(baseline_file)]) == 0
+    payload = json.loads(baseline_file.read_text())
+    assert payload["version"] == 1
+    assert sum(
+        count for rules in payload["entries"].values() for count in rules.values()
+    ) == 1
+
+    capsys.readouterr()
+    assert main([str(module), "--baseline", str(baseline_file)]) == 0
+    assert capsys.readouterr().out == ""
+
+    assert main([str(module)]) == 1  # without the baseline it still fails
+
+
+def test_cli_rejects_malformed_baseline(tmp_path: Path, capsys):
+    module = tmp_path / "module.py"
+    module.write_text("x = 1\n")
+    baseline_file = tmp_path / "baseline.json"
+    baseline_file.write_text('{"version": 99}')
+    assert main([str(module), "--baseline", str(baseline_file)]) == 2
+    assert "baseline" in capsys.readouterr().err

@@ -1,0 +1,67 @@
+"""CLI contract: output format, exit codes, rule selection."""
+
+import re
+from pathlib import Path
+
+from repro.devtools import all_rules
+from repro.devtools.cli import main
+
+_REPORT_LINE = re.compile(r"^.+:\d+:\d+ REPRO\d{3} .+$")
+
+
+def test_findings_use_path_line_col_rule_message_format(
+    fixtures_dir: Path, capsys
+):
+    exit_code = main([str(fixtures_dir / "r102_mutable_default.py")])
+    out = capsys.readouterr().out
+    assert exit_code == 1
+    lines = out.strip().splitlines()
+    assert lines
+    for line in lines:
+        assert _REPORT_LINE.match(line), line
+
+
+def test_clean_tree_exits_zero(fixtures_dir: Path, capsys):
+    assert main([str(fixtures_dir / "r102_clean.py")]) == 0
+    assert capsys.readouterr().out == ""
+
+
+def test_select_and_ignore_by_id_and_name(fixtures_dir: Path, capsys):
+    bad = str(fixtures_dir / "r102_mutable_default.py")
+    assert main([bad, "--select", "REPRO102"]) == 1
+    assert main([bad, "--select", "mutable-default"]) == 1
+    assert main([bad, "--select", "REPRO103"]) == 0
+    assert main([bad, "--ignore", "mutable-default"]) == 0
+    capsys.readouterr()
+
+
+def test_unknown_rule_is_a_usage_error(fixtures_dir: Path, capsys):
+    assert main([str(fixtures_dir), "--select", "REPRO999"]) == 2
+    assert "unknown rule" in capsys.readouterr().err
+
+
+def test_missing_path_is_a_usage_error(tmp_path: Path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "no such file" in capsys.readouterr().err
+
+
+def test_unparseable_file_reports_repro100(tmp_path: Path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def half(:\n")
+    assert main([str(broken)]) == 1
+    assert "REPRO100" in capsys.readouterr().out
+
+
+def test_list_rules_covers_the_registry(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for cls in all_rules():
+        assert cls.rule_id in out and cls.name in out
+
+
+def test_statistics_prints_per_rule_counts(fixtures_dir: Path, capsys):
+    exit_code = main(
+        [str(fixtures_dir / "r102_mutable_default.py"), "--statistics"]
+    )
+    assert exit_code == 1
+    assert re.search(r"^\s+4 REPRO102$", capsys.readouterr().out, re.M)

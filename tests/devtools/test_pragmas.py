@@ -1,0 +1,47 @@
+"""Pragma suppression: line-level, file-level, by id, by name, by all."""
+
+from pathlib import Path
+
+from repro.devtools import lint_paths
+from repro.devtools.pragmas import parse_suppressions
+
+
+def test_pragma_fixture_suppresses_exactly_what_it_claims(fixtures_dir: Path):
+    findings = lint_paths([fixtures_dir / "pragmas.py"])
+    rendered = [f.render() for f in findings]
+    # Only the two deliberately-unsuppressed violations remain: the
+    # REPRO104 comparison whose pragma names another rule's finding,
+    # and the REPRO101 call whose pragma names REPRO104.
+    assert len(findings) == 2, rendered
+    assert {f.rule_id for f in findings} == {"REPRO101", "REPRO104"}
+
+
+def test_line_pragma_only_covers_its_own_line(tmp_path: Path):
+    module = tmp_path / "module.py"
+    module.write_text(
+        "import numpy as np\n"
+        "a = np.random.rand(3)  # repro-lint: disable=REPRO101\n"
+        "b = np.random.rand(3)\n"
+    )
+    findings = lint_paths([module])
+    assert [f.line for f in findings] == [3]
+
+
+def test_file_pragma_covers_whole_module(tmp_path: Path):
+    module = tmp_path / "module.py"
+    module.write_text(
+        "# repro-lint: disable-file=global-rng\n"
+        "import numpy as np\n"
+        "a = np.random.rand(3)\n"
+        "b = np.random.seed(0)\n"
+    )
+    assert lint_paths([module]) == []
+
+
+def test_parse_suppressions_handles_multiple_rules_per_pragma():
+    line_map, file_level = parse_suppressions(
+        "x = 1  # repro-lint: disable=REPRO101, float-equality\n"
+        "# repro-lint: disable-file=REPRO107\n"
+    )
+    assert line_map[1] == frozenset({"repro101", "float-equality"})
+    assert file_level == frozenset({"repro107"})

@@ -6,13 +6,29 @@ scale.  The full-report example is exercised separately through the
 report tests (it would dominate the suite's runtime here).
 """
 
+import os
 import subprocess
 import sys
 from pathlib import Path
 
 import pytest
 
-EXAMPLES_DIR = Path(__file__).resolve().parents[2] / "examples"
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES_DIR = REPO_ROOT / "examples"
+
+
+def _example_env():
+    """Subprocess env with the in-repo package importable.
+
+    Examples run from a scratch cwd, so ``src`` must be put on
+    PYTHONPATH relative to the repo root, not the cwd, prepended so the
+    in-repo tree wins over any installed copy.
+    """
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join([src, existing])
+    return env
 
 pytestmark = pytest.mark.slow
 
@@ -36,6 +52,7 @@ def test_example_runs(script, args, tmp_path):
         text=True,
         timeout=300,
         cwd=tmp_path,  # examples must not depend on the repo cwd
+        env=_example_env(),
     )
     assert result.returncode == 0, result.stderr[-2000:]
     assert result.stdout.strip(), "example produced no output"

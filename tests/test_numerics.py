@@ -1,0 +1,29 @@
+"""Tolerance helpers backing the REPRO104 lint rule."""
+
+from repro.numerics import CAPACITY_SLACK, approx_eq, approx_gte, approx_lte, approx_ne
+
+
+def test_approx_eq_absorbs_accumulated_rounding():
+    total = sum([0.1] * 10)  # 0.9999999999999999, not 1.0
+    assert total != 1.0
+    assert approx_eq(total, 1.0)
+    assert not approx_ne(total, 1.0)
+
+
+def test_approx_eq_near_zero_uses_absolute_floor():
+    assert approx_eq(1e-15, 0.0)
+    assert approx_ne(1e-6, 0.0)
+
+
+def test_approx_eq_distinguishes_real_differences():
+    assert approx_ne(0.5, 0.500001)
+    assert approx_eq(0.5, 0.5)
+
+
+def test_capacity_fit_helpers_allow_exact_fill():
+    capacity_gb = 64.0
+    demand_gb = sum([6.4] * 10)  # mathematically == capacity
+    assert approx_lte(demand_gb, capacity_gb)
+    assert approx_gte(capacity_gb, demand_gb)
+    assert not approx_lte(capacity_gb + 1.0, capacity_gb)
+    assert CAPACITY_SLACK > 0.0
