@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint test check list-rules
+.PHONY: lint test check list-rules bench-smoke golden-regen
 
 lint:
 	$(PYTHON) -m repro.devtools src/repro
@@ -15,6 +15,16 @@ test:
 	$(PYTHON) -m pytest -x -q
 
 check: lint test
+
+# Exercises the parallel runner end-to-end (serial vs parallel vs
+# cache-warm over the four-datacenter sweep) without pytest-benchmark.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks/bench_runner_sweep.py -q -s
+
+# Re-pin the golden regression fixtures after an intentional change;
+# review the JSON diff like any other code change.
+golden-regen:
+	REPRO_REGEN_GOLDEN=1 $(PYTHON) -m pytest tests/golden -q
 
 list-rules:
 	$(PYTHON) -m repro.devtools --list-rules

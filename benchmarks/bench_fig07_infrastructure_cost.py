@@ -15,9 +15,9 @@ from repro.experiments.comparison import run_all
 from repro.experiments.formatting import format_table
 
 
-def test_fig07_infrastructure_cost(benchmark, settings, comparisons):
+def test_fig07_infrastructure_cost(benchmark, settings, runner, comparisons):
     fresh = benchmark.pedantic(
-        lambda: run_all(settings), rounds=1, iterations=1
+        lambda: run_all(settings, runner=runner), rounds=1, iterations=1
     )
     rows = []
     for key, comparison in fresh.items():

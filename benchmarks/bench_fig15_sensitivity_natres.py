@@ -5,15 +5,16 @@ memory is reserved for live migration; semi-static and stochastic hold
 no reservation and appear as flat reference lines.
 """
 
-from conftest import print_report
+from conftest import cached_sensitivity, print_report
 
 from repro.experiments.formatting import format_table
-from repro.experiments.sensitivity import run_sensitivity
 
 
 def test_fig15_sensitivity_natres(benchmark, settings):
     result = benchmark.pedantic(
-        lambda: run_sensitivity("natural-resources", settings), rounds=1, iterations=1
+        lambda: cached_sensitivity("natural-resources", settings),
+        rounds=1,
+        iterations=1,
     )
     rows = [
         (

@@ -1,0 +1,71 @@
+"""Runner smoke bench: parallel fan-out + cache round-trip.
+
+Times the four-datacenter sensitivity sweep three ways — serial,
+parallel, and a cache-warm rerun — asserting what must hold everywhere
+(identical results, all-hit warm rerun) and *reporting* the measured
+speedup, which depends on the host's core count.  Deliberately uses
+plain ``time.perf_counter`` instead of pytest-benchmark so the smoke
+runs on a bare pytest install (``make bench-smoke`` / CI).
+
+Scale is tiny by default so the smoke stays in seconds; raise
+``REPRO_SCALE`` to stress it.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from conftest import print_report
+
+from repro.experiments.settings import ExperimentSettings
+from repro.runner import ExperimentRunner, sensitivity_sweep
+
+
+def _smoke_scale() -> float:
+    return float(os.environ.get("REPRO_SCALE", "0.05"))
+
+
+def _workers() -> int:
+    return max(2, min(4, os.cpu_count() or 1))
+
+
+def test_runner_sweep_smoke(tmp_path):
+    settings = ExperimentSettings(scale=_smoke_scale())
+    tasks = sensitivity_sweep(settings)
+
+    serial_cache = tmp_path / "serial-cache"
+    parallel_cache = tmp_path / "parallel-cache"
+    serial = ExperimentRunner(serial=True, cache_dir=serial_cache)
+    parallel = ExperimentRunner(
+        workers=_workers(), cache_dir=parallel_cache
+    )
+
+    started = time.perf_counter()
+    serial_report = serial.run(tasks)
+    serial_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    parallel_report = parallel.run(tasks)
+    parallel_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    warm_report = parallel.run(tasks)
+    warm_s = time.perf_counter() - started
+
+    assert serial_report.results == parallel_report.results
+    assert parallel_report.results == warm_report.results
+    assert warm_report.cache_hits == len(tasks)
+    assert warm_report.cache_misses == 0
+
+    speedup = serial_s / parallel_s if parallel_s > 0 else float("inf")
+    body = (
+        f"tasks: {len(tasks)} (4 datacenters x bound sweep)\n"
+        f"serial:       {serial_s:8.2f}s\n"
+        f"parallel({parallel.workers}):  {parallel_s:8.2f}s "
+        f"(speedup {speedup:.2f}x on {os.cpu_count()} cores)\n"
+        f"cache-warm:   {warm_s:8.2f}s "
+        f"({warm_report.cache_hits} hits / {warm_report.cache_misses} "
+        f"misses)\n\n{parallel_report.describe()}"
+    )
+    print_report("Runner sweep smoke (serial vs parallel vs warm)", body)

@@ -7,8 +7,15 @@ comparison, so that expensive computation runs once per session (the
 ``fig7`` bench times it; the others time their own tabulation) —
 mirroring how the paper derives six figures from one experiment.
 
-Scale defaults to 0.15 (fast, statistically stable); set
-``REPRO_SCALE=1.0`` to reproduce at the paper's full datacenter sizes.
+The heavy sweeps route through :class:`repro.runner.ExperimentRunner`,
+so they fan out over a process pool and land in the content-addressed
+cache — a second benchmark session reuses the generated traces and
+emulations instead of recomputing them.  Environment knobs:
+
+* ``REPRO_SCALE``       — datacenter scale (default 0.15; 1.0 = paper)
+* ``REPRO_BENCH_SERIAL``  — any non-empty value forces serial execution
+* ``REPRO_BENCH_WORKERS`` — process-pool size (default: auto)
+* ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` — cache location / kill switch
 """
 
 from __future__ import annotations
@@ -19,10 +26,18 @@ import pytest
 
 from repro.experiments.comparison import run_all
 from repro.experiments.settings import ExperimentSettings
+from repro.runner import ExperimentRunner, execute_cached, sensitivity_task
 
 
 def _bench_scale() -> float:
     return float(os.environ.get("REPRO_SCALE", "0.15"))
+
+
+def _bench_runner() -> ExperimentRunner:
+    serial = bool(os.environ.get("REPRO_BENCH_SERIAL", ""))
+    workers_env = os.environ.get("REPRO_BENCH_WORKERS", "")
+    workers = int(workers_env) if workers_env else None
+    return ExperimentRunner(workers=workers, serial=serial)
 
 
 @pytest.fixture(scope="session")
@@ -31,9 +46,20 @@ def settings() -> ExperimentSettings:
 
 
 @pytest.fixture(scope="session")
-def comparisons(settings):
+def runner() -> ExperimentRunner:
+    """The shared experiment runner (parallel + cached by default)."""
+    return _bench_runner()
+
+
+@pytest.fixture(scope="session")
+def comparisons(settings, runner):
     """The Section-5 baseline experiment, shared across Figs. 7-12."""
-    return run_all(settings)
+    return run_all(settings, runner=runner)
+
+
+def cached_sensitivity(datacenter: str, settings: ExperimentSettings):
+    """One datacenter's bound sweep through the shared runner cache."""
+    return execute_cached(sensitivity_task(datacenter, settings))
 
 
 def print_report(header: str, body: str) -> None:

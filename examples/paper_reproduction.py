@@ -3,41 +3,83 @@
 
 Runs every table, figure, observation and extension study in the
 paper's order and writes a self-contained markdown document — the
-machine-generated counterpart of EXPERIMENTS.md.  At the default scale
-this takes a couple of minutes; set ``REPRO_SCALE=1.0`` (and some
-patience) for the full 3373-server reproduction.
+machine-generated counterpart of EXPERIMENTS.md.  The heavy sweeps fan
+out over a process pool and land in the runner's content-addressed
+cache, so a rerun (or a later benchmark session) reuses them; pass
+``--serial`` to execute everything in-process instead.  Set scale to
+1.0 (and bring some patience) for the full 3373-server reproduction.
 
-Run:  python examples/paper_reproduction.py [output.md] [scale]
+Run:  python examples/paper_reproduction.py [output.md] [--scale 0.15]
+          [--serial | --workers N] [--cache-dir PATH]
 """
 
-import sys
+import argparse
 import time
 
 from repro.experiments.report import generate_report
 from repro.experiments.settings import ExperimentSettings
+from repro.runner import ExperimentRunner
 
 
-def main(output_path: str = "reproduction_report.md", scale: float = 0.15) -> None:
-    settings = ExperimentSettings(scale=scale)
+def parse_args(argv: "list[str] | None" = None) -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "output",
+        nargs="?",
+        default="reproduction_report.md",
+        help="output markdown path",
+    )
+    parser.add_argument(
+        "--scale",
+        type=float,
+        default=0.15,
+        help="datacenter scale (1.0 = the paper's sizes)",
+    )
+    parser.add_argument(
+        "--serial",
+        action="store_true",
+        help="run everything in-process (no worker pool)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process-pool size (default: auto)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache root (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro-runner)",
+    )
+    return parser.parse_args(argv)
+
+
+def main(args: argparse.Namespace) -> None:
+    settings = ExperimentSettings(scale=args.scale)
+    runner = ExperimentRunner(
+        workers=args.workers, serial=args.serial, cache_dir=args.cache_dir
+    )
+    mode = "serially" if runner.serial else f"on {runner.workers} workers"
     print(
-        f"Reproducing every figure/table at scale {scale} "
+        f"Reproducing every figure/table at scale {args.scale} {mode} "
         f"({settings.evaluation_days}-day window, "
         f"{settings.reservation:.0%} migration reservation)..."
     )
     started = time.perf_counter()
-    report = generate_report(settings)
+    report = generate_report(settings, runner=runner)
     elapsed = time.perf_counter() - started
-    with open(output_path, "w", encoding="utf-8") as handle:
+    with open(args.output, "w", encoding="utf-8") as handle:
         handle.write(report)
     sections = report.count("\n## ")
     print(
-        f"Wrote {output_path}: {sections} experiments, "
+        f"Wrote {args.output}: {sections} experiments, "
         f"{len(report.splitlines())} lines, {elapsed:.0f}s."
     )
+    if runner.cache_dir is not None:
+        print(f"Result cache: {runner.cache_dir} (rerun to reuse it).")
     print("Compare against EXPERIMENTS.md for the paper-vs-measured bands.")
 
 
 if __name__ == "__main__":
-    out = sys.argv[1] if len(sys.argv) > 1 else "reproduction_report.md"
-    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.15
-    main(out, scale)
+    main(parse_args())

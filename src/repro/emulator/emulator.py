@@ -147,10 +147,9 @@ class ConsolidationEmulator:
                         f"placement refers to unknown host {host_id!r}"
                     )
                 used.setdefault(host_id, None)
-        ordered = [h for h in self.datacenter if h.host_id in used]
-        if not ordered:
-            raise EmulationError("schedule places no VMs on any host")
-        return ordered
+        # An empty schedule is legal: zero hosts, zero cost, zero
+        # contention (the metamorphic baseline the tests pin down).
+        return [h for h in self.datacenter if h.host_id in used]
 
     @staticmethod
     def _power_matrix(

@@ -167,6 +167,8 @@ class EmulationResult:
 
     def active_fraction_series(self) -> np.ndarray:
         """Fraction of provisioned servers active, per hour (Fig. 12)."""
+        if self.provisioned_servers == 0:
+            return np.zeros(self.n_hours)
         return self.active.sum(axis=0) / self.provisioned_servers
 
     def active_fraction_cdf(self) -> EmpiricalCDF:

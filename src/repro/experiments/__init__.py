@@ -26,7 +26,11 @@ from repro.experiments.multiperiod import (
 )
 from repro.experiments.potential import PotentialGain, potential_gain
 from repro.experiments.report import DEFAULT_REPORT_ORDER, generate_report
-from repro.experiments.sensitivity import SensitivityResult, run_sensitivity
+from repro.experiments.sensitivity import (
+    SensitivityResult,
+    run_sensitivity,
+    run_sensitivity_all,
+)
 from repro.experiments.validate import (
     ValidationCheck,
     ValidationReport,
@@ -69,4 +73,5 @@ __all__ = [
     "run_figure",
     "run_interval_study",
     "run_sensitivity",
+    "run_sensitivity_all",
 ]

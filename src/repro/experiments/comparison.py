@@ -10,7 +10,7 @@ datacenters (the full Fig. 7 grid).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Sequence, Tuple
 
 from repro.core.base import ConsolidationAlgorithm
 from repro.core.dynamic import DynamicConsolidation
@@ -22,6 +22,9 @@ from repro.experiments.settings import ExperimentSettings
 from repro.infrastructure.costs import normalize
 from repro.workloads.datacenters import ALL_DATACENTERS, generate_datacenter
 from repro.workloads.trace import TraceSet
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner import ExperimentRunner
 
 __all__ = [
     "SCHEME_VANILLA",
@@ -129,9 +132,25 @@ def run_comparison(
 
 def run_all(
     settings: Optional[ExperimentSettings] = None,
+    *,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> Dict[str, ComparisonResult]:
-    """Run the comparison for all four datacenters (the Fig. 7 grid)."""
+    """Run the comparison for all four datacenters (the Fig. 7 grid).
+
+    With a :class:`~repro.runner.ExperimentRunner`, the four datacenters
+    fan out over its process pool and results come back from (and land
+    in) its content-addressed cache; without one, the grid runs serially
+    in-process exactly as before.
+    """
     settings = settings or ExperimentSettings()
+    if runner is not None:
+        from repro.runner.tasks import comparison_sweep
+
+        report = runner.run(comparison_sweep(settings))
+        return {
+            config.key: result
+            for config, result in zip(ALL_DATACENTERS, report.results)
+        }
     return {
         config.key: run_comparison(config.key, settings)
         for config in ALL_DATACENTERS

@@ -13,9 +13,8 @@ from typing import Callable, Dict, Mapping, Optional
 
 from repro.exceptions import ConfigurationError
 from repro.experiments import traceanalysis
-from repro.experiments.comparison import ComparisonResult, run_all
+from repro.experiments.comparison import ComparisonResult
 from repro.experiments.formatting import format_cdf, format_table
-from repro.experiments.sensitivity import run_sensitivity
 from repro.experiments.settings import ExperimentSettings
 from repro.migration.reliability import recommended_reservation, reliability_sweep
 from repro.workloads.appmodel import OLIO_MODEL
@@ -145,16 +144,24 @@ def _obs4(settings: ExperimentSettings) -> str:
     )
 
 
-#: Figs. 7-12 all derive from the same three-scheme experiment; cache it
-#: per settings so a full report pays for it once.  Settings are frozen
-#: (hashable); the cache is tiny (a handful of settings per process).
+#: Figs. 7-12 all derive from the same three-scheme experiment; memoize
+#: it per settings so a full report pays for it once.  Settings are
+#: frozen (hashable); the memo is tiny (a handful of settings per
+#: process).  The on-disk runner cache sits underneath, so even a fresh
+#: process reuses previously-computed comparisons.
 _COMPARISON_CACHE: "Dict[ExperimentSettings, Dict[str, ComparisonResult]]" = {}
 
 
 def _comparison_rows(settings: ExperimentSettings) -> Dict[str, ComparisonResult]:
     cached = _COMPARISON_CACHE.get(settings)
     if cached is None:
-        cached = run_all(settings)
+        from repro.runner import comparison_task, execute_cached
+        from repro.workloads.datacenters import ALL_DATACENTERS
+
+        cached = {
+            config.key: execute_cached(comparison_task(config.key, settings))
+            for config in ALL_DATACENTERS
+        }
         _COMPARISON_CACHE[settings] = cached
     return cached
 
@@ -244,7 +251,9 @@ def _fig12(settings: ExperimentSettings) -> str:
 
 
 def _sensitivity_figure(settings: ExperimentSettings, key: str, fig: str) -> str:
-    result = run_sensitivity(key, settings)
+    from repro.runner import execute_cached, sensitivity_task
+
+    result = execute_cached(sensitivity_task(key, settings))
     rows = [
         (
             f"{r['utilization_bound']:.2f}",

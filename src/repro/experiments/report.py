@@ -9,12 +9,15 @@ a change, or for producing a full-scale (``REPRO_SCALE=1.0``) record.
 from __future__ import annotations
 
 import time
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro import __version__
 from repro.exceptions import ConfigurationError
 from repro.experiments.figures import FIGURES, run_figure
 from repro.experiments.settings import ExperimentSettings
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner import ExperimentRunner
 
 __all__ = ["generate_report", "DEFAULT_REPORT_ORDER"]
 
@@ -51,8 +54,16 @@ def generate_report(
     settings: Optional[ExperimentSettings] = None,
     *,
     figures: Optional[Sequence[str]] = None,
+    runner: Optional["ExperimentRunner"] = None,
 ) -> str:
-    """Run the selected experiments and return one markdown report."""
+    """Run the selected experiments and return one markdown report.
+
+    With a :class:`~repro.runner.ExperimentRunner`, the expensive
+    shared experiments (the comparison and sensitivity sweeps behind
+    Figs. 7-16) are computed first across its process pool, landing in
+    its cache; the per-figure formatting then runs serially and reads
+    the warmed cache.  Without one, everything runs in-process.
+    """
     settings = settings or ExperimentSettings()
     selected = tuple(figures) if figures else DEFAULT_REPORT_ORDER
     unknown = [f for f in selected if f.lower() not in FIGURES]
@@ -60,6 +71,14 @@ def generate_report(
         raise ConfigurationError(
             f"unknown figures requested: {', '.join(unknown)}"
         )
+    if runner is not None:
+        entries = _run_with_runner(settings, selected, runner)
+    else:
+        entries = []
+        for figure_id in selected:
+            started = time.perf_counter()
+            body = run_figure(figure_id, settings)
+            entries.append((figure_id, body, time.perf_counter() - started))
     sections = [
         "# Reproduction report — Virtual Machine Consolidation in the Wild",
         "",
@@ -71,10 +90,7 @@ def generate_report(
         f"- live-migration reservation: {settings.reservation:.0%}",
         "",
     ]
-    for figure_id in selected:
-        started = time.perf_counter()
-        body = run_figure(figure_id, settings)
-        elapsed = time.perf_counter() - started
+    for figure_id, body, elapsed in entries:
         sections.append(f"## {figure_id}")
         sections.append("")
         sections.append("```text")
@@ -83,3 +99,54 @@ def generate_report(
         sections.append(f"*({elapsed:.1f}s)*")
         sections.append("")
     return "\n".join(sections)
+
+
+#: Figure ids whose body replays the shared three-scheme comparison.
+_COMPARISON_FIGURES = frozenset(
+    {"fig7", "fig8", "fig9", "fig10", "fig11", "fig12"}
+)
+
+#: Sensitivity figures and the datacenter each one sweeps.
+_SENSITIVITY_FIGURES = {
+    "fig13": "banking",
+    "fig14": "airlines",
+    "fig15": "natural-resources",
+    "fig16": "beverage",
+}
+
+
+def _run_with_runner(
+    settings: ExperimentSettings,
+    selected: Sequence[str],
+    runner: "ExperimentRunner",
+) -> "list[tuple[str, str, float]]":
+    """Fan the report's figures out over the runner's process pool.
+
+    The comparison and sensitivity sweeps are prewarmed first so the
+    figure tasks that share them read one cached copy instead of racing
+    to recompute it in every worker.
+    """
+    from repro.runner import (
+        comparison_sweep,
+        figure_task,
+        sensitivity_task,
+    )
+
+    wanted = {figure_id.lower() for figure_id in selected}
+    prewarm = []
+    if wanted & _COMPARISON_FIGURES:
+        prewarm.extend(comparison_sweep(settings))
+    for figure_id, datacenter in _SENSITIVITY_FIGURES.items():
+        if figure_id in wanted:
+            prewarm.append(sensitivity_task(datacenter, settings))
+    if prewarm:
+        runner.run(prewarm)
+    report = runner.run(
+        [figure_task(figure_id, settings) for figure_id in selected]
+    )
+    return [
+        (figure_id, str(body), stat.seconds)
+        for figure_id, body, stat in zip(
+            selected, report.results, report.stats
+        )
+    ]

@@ -9,7 +9,7 @@ stay fixed — the flat reference lines in the paper's figures.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
 
 from repro.core.dynamic import DynamicConsolidation
 from repro.core.planner import ConsolidationPlanner
@@ -22,7 +22,10 @@ from repro.experiments.settings import (
 from repro.workloads.datacenters import generate_datacenter
 from repro.workloads.trace import TraceSet
 
-__all__ = ["SensitivityResult", "run_sensitivity"]
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runner import ExperimentRunner
+
+__all__ = ["SensitivityResult", "run_sensitivity", "run_sensitivity_all"]
 
 
 @dataclass(frozen=True)
@@ -110,3 +113,36 @@ def run_sensitivity(
         stochastic_servers=stochastic,
         dynamic_servers_by_bound=dynamic_by_bound,
     )
+
+
+def run_sensitivity_all(
+    settings: Optional[ExperimentSettings] = None,
+    *,
+    bounds: Sequence[float] = UTILIZATION_BOUND_SWEEP,
+    datacenters: Optional[Sequence[str]] = None,
+    runner: Optional["ExperimentRunner"] = None,
+) -> Dict[str, SensitivityResult]:
+    """Run the bound sweep for every datacenter (the Figs. 13-16 grid).
+
+    With a :class:`~repro.runner.ExperimentRunner` the per-datacenter
+    sweeps fan out over its process pool and content-addressed cache;
+    otherwise they run serially in-process.
+    """
+    from repro.workloads.datacenters import ALL_DATACENTERS
+
+    settings = settings or ExperimentSettings()
+    keys = (
+        [config.key for config in ALL_DATACENTERS]
+        if datacenters is None
+        else list(datacenters)
+    )
+    if runner is not None:
+        from repro.runner.tasks import sensitivity_sweep
+
+        report = runner.run(
+            sensitivity_sweep(settings, keys, bounds=bounds)
+        )
+        return dict(zip(keys, report.results))
+    return {
+        key: run_sensitivity(key, settings, bounds=bounds) for key in keys
+    }

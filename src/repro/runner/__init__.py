@@ -1,0 +1,69 @@
+"""Parallel cached experiment runner.
+
+The execution subsystem behind the reproduction sweeps: experiment
+tasks (datacenter × config × seed) fan out over a process pool, a
+content-addressed on-disk cache shares regenerated traces and emulator
+results across benchmarks and reruns, and every run comes back with
+per-task timing and cache statistics.  See ``docs/RUNNER.md``.
+"""
+
+from repro.runner.cache import (
+    CACHE_DIR_ENV,
+    CacheStats,
+    ResultCache,
+    default_cache_dir,
+)
+from repro.runner.registry import (
+    RunnerContext,
+    execute,
+    register_task_kind,
+    registered_kinds,
+)
+from repro.runner.runner import (
+    ExperimentRunner,
+    RunReport,
+    TaskStats,
+    default_cache,
+    default_workers,
+    execute_cached,
+)
+from repro.runner.task import ExperimentTask, derive_seed
+from repro.runner.tasks import (
+    comparison_sweep,
+    comparison_task,
+    figure_task,
+    planning_task,
+    sensitivity_sweep,
+    sensitivity_task,
+    settings_from_params,
+    settings_params,
+    trace_task,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CacheStats",
+    "ExperimentRunner",
+    "ExperimentTask",
+    "ResultCache",
+    "RunReport",
+    "RunnerContext",
+    "TaskStats",
+    "comparison_sweep",
+    "comparison_task",
+    "default_cache",
+    "default_cache_dir",
+    "default_workers",
+    "derive_seed",
+    "execute",
+    "execute_cached",
+    "figure_task",
+    "planning_task",
+    "register_task_kind",
+    "registered_kinds",
+    "sensitivity_sweep",
+    "sensitivity_task",
+    "settings_from_params",
+    "settings_params",
+    "trace_task",
+]

@@ -1,0 +1,131 @@
+"""Task-kind registry and the execution context.
+
+An executor is a pure function ``(params, ctx) -> result`` registered
+under a task kind.  The :class:`RunnerContext` threaded into every
+executor lets a task compute *sub-tasks through the same cache* — the
+mechanism by which one generated trace set is shared by the comparison,
+sensitivity, and figure tasks that replay it, instead of each
+regenerating it from scratch.
+
+Built-in kinds live in :mod:`repro.runner.tasks`; applications may
+register their own with :func:`register_task_kind` (under a process
+pool this relies on fork inheriting the registration, which is the
+default start method on Linux — ``--serial`` is the portable fallback).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Mapping, Optional, Set, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.runner.cache import ResultCache
+from repro.runner.task import ExperimentTask
+
+__all__ = [
+    "TaskExecutor",
+    "register_task_kind",
+    "executor_for",
+    "registered_kinds",
+    "RunnerContext",
+    "current_context",
+    "execute",
+]
+
+TaskExecutor = Callable[[Mapping[str, object], "RunnerContext"], object]
+
+_EXECUTORS: Dict[str, TaskExecutor] = {}
+
+
+def register_task_kind(
+    kind: str, *, replace: bool = False
+) -> Callable[[TaskExecutor], TaskExecutor]:
+    """Decorator registering an executor for a task kind."""
+
+    def decorate(executor: TaskExecutor) -> TaskExecutor:
+        if not replace and kind in _EXECUTORS:
+            raise ConfigurationError(
+                f"task kind {kind!r} is already registered"
+            )
+        _EXECUTORS[kind] = executor
+        return executor
+
+    return decorate
+
+
+def executor_for(kind: str) -> TaskExecutor:
+    """Resolve a kind to its executor, with a helpful error."""
+    try:
+        return _EXECUTORS[kind]
+    except KeyError:
+        known = ", ".join(sorted(_EXECUTORS)) or "(none)"
+        raise ConfigurationError(
+            f"unknown task kind {kind!r}; registered: {known}"
+        ) from None
+
+
+def registered_kinds() -> Tuple[str, ...]:
+    return tuple(sorted(_EXECUTORS))
+
+
+class RunnerContext:
+    """Execution context handed to every task executor.
+
+    Carries the (optional) result cache and a cycle guard for nested
+    task execution.
+    """
+
+    def __init__(self, cache: Optional[ResultCache] = None) -> None:
+        self.cache = cache
+        self._in_progress: Set[str] = set()
+
+    def run_task(self, task: ExperimentTask) -> object:
+        """Compute a (sub-)task through the cache; returns its result."""
+        result, _hit, _seconds = self.execute(task)
+        return result
+
+    def execute(self, task: ExperimentTask) -> Tuple[object, bool, float]:
+        """Compute or load one task: ``(result, cache_hit, seconds)``."""
+        if task.spec in self._in_progress:
+            raise ConfigurationError(
+                f"task cycle detected at {task.name}: a task may not "
+                "(transitively) depend on itself"
+            )
+        started = time.perf_counter()
+        if self.cache is not None:
+            cached, hit = self.cache.get(task)
+            if hit:
+                return cached, True, time.perf_counter() - started
+        executor = executor_for(task.kind)
+        self._in_progress.add(task.spec)
+        global _ACTIVE_CONTEXT
+        previous = _ACTIVE_CONTEXT
+        _ACTIVE_CONTEXT = self
+        try:
+            result = executor(task.params, self)
+        finally:
+            _ACTIVE_CONTEXT = previous
+            self._in_progress.discard(task.spec)
+        if self.cache is not None:
+            self.cache.put(task, result)
+        return result, False, time.perf_counter() - started
+
+
+#: The context of the task executing right now (one task at a time per
+#: process).  Lets library code reached *from inside* an executor — the
+#: figure registry calling back into the comparison sweep, say — route
+#: its sub-tasks through the same cache and cycle guard instead of a
+#: detached default cache.
+_ACTIVE_CONTEXT: Optional[RunnerContext] = None
+
+
+def current_context() -> Optional[RunnerContext]:
+    """The context of the currently-executing task, if any."""
+    return _ACTIVE_CONTEXT
+
+
+def execute(
+    task: ExperimentTask, cache: Optional[ResultCache] = None
+) -> Tuple[object, bool, float]:
+    """Execute one task in this process: ``(result, cache_hit, seconds)``."""
+    return RunnerContext(cache).execute(task)

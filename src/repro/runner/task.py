@@ -1,0 +1,97 @@
+"""The experiment task model.
+
+An :class:`ExperimentTask` is the unit the runner fans out: a *kind*
+(which registered executor computes it) plus a canonical, JSON-encodable
+parameter document that fully determines the result — workload
+parameters, emulator configuration, and seeds all live in ``params``.
+Because the spec determines the result, it also addresses the cache:
+``task.cache_key(salt)`` is the content hash the on-disk store files
+results under.
+
+Determinism contract
+--------------------
+Executors must be pure functions of their params: every random draw has
+to come from a seed recorded in the spec (or derived from it via
+:func:`derive_seed`).  That is what makes serial, parallel, and
+cache-warm runs of the same sweep bit-identical.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from repro.exceptions import ConfigurationError
+from repro.runner.hashing import canonical_json, stable_hash
+
+__all__ = ["ExperimentTask", "derive_seed"]
+
+#: Derived seeds stay within numpy's legal ``SeedSequence`` entropy range.
+_SEED_BITS = 63
+
+
+def derive_seed(base_seed: int, *parts: object) -> int:
+    """Deterministically derive a child seed from a base seed and labels.
+
+    Sweeps that need one independent trace realization per (datacenter,
+    replicate) cell derive each cell's seed from the preset's base seed
+    and the cell coordinates.  The derivation hashes the canonical JSON
+    of its inputs, so it is independent of execution order, worker
+    count, and process boundaries — the property the parallel runner's
+    bit-identical guarantee rests on.
+    """
+    digest = stable_hash([int(base_seed), list(parts)])
+    return int(digest[:16], 16) & ((1 << _SEED_BITS) - 1)
+
+
+@dataclass(frozen=True)
+class ExperimentTask:
+    """One cacheable unit of experiment work.
+
+    Attributes
+    ----------
+    kind:
+        Registered executor name (``"comparison"``, ``"sensitivity"``,
+        ``"trace-set"``, ...); see :mod:`repro.runner.tasks`.
+    params:
+        JSON-encodable spec that fully determines the result.
+    label:
+        Human-readable name for summaries; defaults to ``kind:hash``.
+    """
+
+    kind: str
+    params: Mapping[str, object]
+    label: str = ""
+    #: Canonical spec document, computed once at construction.
+    _spec: str = field(init=False, repr=False, compare=False, default="")
+
+    def __post_init__(self) -> None:
+        if not self.kind:
+            raise ConfigurationError("task kind must be non-empty")
+        spec = canonical_json({"kind": self.kind, "params": dict(self.params)})
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "_spec", spec)
+
+    @property
+    def spec(self) -> str:
+        """The canonical JSON document identifying this task."""
+        return self._spec
+
+    def cache_key(self, salt: str) -> str:
+        """Content address of this task's result under a code salt."""
+        return stable_hash(self.spec, salt=salt)
+
+    @property
+    def name(self) -> str:
+        """Display name: the label, or ``kind:shorthash``."""
+        if self.label:
+            return self.label
+        return f"{self.kind}:{stable_hash(self.spec)[:8]}"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ExperimentTask):
+            return NotImplemented
+        return self._spec == other._spec
+
+    def __hash__(self) -> int:
+        return hash(self._spec)

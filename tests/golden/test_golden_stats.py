@@ -1,0 +1,150 @@
+"""Golden regression tests: seed-pinned headline statistics.
+
+Pins the reproduction's headline numbers behind Table 2 and Figs. 2, 6
+and 12 at a fixed scale against JSON fixtures.  Every generator seed is
+calibrated and recorded, so these numbers are exact functions of the
+code — a drift here means a behavior change in workload generation,
+trace analysis, planning, or emulation, and must be deliberate.
+
+To re-pin after an intentional change:
+
+    REPRO_REGEN_GOLDEN=1 PYTHONPATH=src python -m pytest tests/golden -q
+
+then review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict
+
+import pytest
+
+from repro.experiments.comparison import run_comparison
+from repro.experiments.settings import ExperimentSettings
+from repro.experiments.traceanalysis import (
+    P2A_GRID,
+    RATIO_GRID,
+    burstiness_by_datacenter,
+    resource_ratio_by_datacenter,
+    table2_summary,
+)
+from repro.numerics import approx_eq
+
+GOLDEN_SCALE = 0.05
+FIXTURES = Path(__file__).parent / "fixtures"
+REGEN_ENV = "REPRO_REGEN_GOLDEN"
+
+#: Relative tolerance for pinned floats.  The pipeline is deterministic
+#: given the recorded seeds; the slack only absorbs float-accumulation
+#: differences across BLAS/platform variants.
+REL_TOL = 1e-6
+ABS_TOL = 1e-9
+
+
+def _regen() -> bool:
+    return bool(os.environ.get(REGEN_ENV, ""))
+
+
+def _check(fixture_name: str, computed: Dict[str, object]) -> None:
+    """Compare a computed document against its fixture (or re-pin it)."""
+    path = FIXTURES / f"{fixture_name}.json"
+    if _regen():
+        FIXTURES.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(computed, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return
+    if not path.exists():
+        pytest.fail(
+            f"golden fixture {path} missing; regenerate with "
+            f"{REGEN_ENV}=1"
+        )
+    expected = json.loads(path.read_text(encoding="utf-8"))
+    _compare(fixture_name, expected, computed)
+
+
+def _compare(where: str, expected: object, computed: object) -> None:
+    if isinstance(expected, dict):
+        assert isinstance(computed, dict), f"{where}: type changed"
+        assert sorted(expected) == sorted(computed), f"{where}: keys changed"
+        for key in expected:
+            _compare(f"{where}.{key}", expected[key], computed[key])
+    elif isinstance(expected, list):
+        assert isinstance(computed, list), f"{where}: type changed"
+        assert len(expected) == len(computed), f"{where}: length changed"
+        for index, (e, c) in enumerate(zip(expected, computed)):
+            _compare(f"{where}[{index}]", e, c)
+    elif isinstance(expected, float) or isinstance(computed, float):
+        assert approx_eq(
+            float(expected), float(computed), rel_tol=REL_TOL, abs_tol=ABS_TOL
+        ), f"{where}: {computed!r} drifted from pinned {expected!r}"
+    else:
+        assert expected == computed, (
+            f"{where}: {computed!r} != pinned {expected!r}"
+        )
+
+
+def test_table2_workload_statistics() -> None:
+    """Table 2: generated estate sizes and measured CPU utilizations."""
+    rows = table2_summary(scale=GOLDEN_SCALE)
+    computed = {
+        str(row["name"]): {
+            "generated_servers": int(row["generated_servers"]),
+            "measured_cpu_util": float(row["measured_cpu_util"]),
+        }
+        for row in rows
+    }
+    _check("table2", computed)
+
+
+def test_fig2_cpu_peak_to_average_cdf() -> None:
+    """Fig. 2: CPU peak-to-average CDF at the 2-hour sizing interval."""
+    reports = burstiness_by_datacenter(scale=GOLDEN_SCALE)
+    computed = {
+        key: {
+            "p2a_cdf_2h": [
+                float(report.peak_to_average[("cpu", 2.0)].at(x))
+                for x in P2A_GRID
+            ],
+        }
+        for key, report in reports.items()
+    }
+    _check("fig2", computed)
+
+
+def test_fig6_resource_ratio() -> None:
+    """Fig. 6: CPU:memory demand-ratio CDF + memory-constrained share."""
+    reports = resource_ratio_by_datacenter(scale=GOLDEN_SCALE)
+    computed = {
+        key: {
+            "ratio_cdf": [float(report.cdf.at(x)) for x in RATIO_GRID],
+            "fraction_memory_constrained": float(
+                report.fraction_memory_constrained
+            ),
+        }
+        for key, report in reports.items()
+    }
+    _check("fig6", computed)
+
+
+@pytest.mark.parametrize("datacenter", ["banking", "beverage"])
+def test_fig12_dynamic_active_fraction(datacenter: str) -> None:
+    """Fig. 12: the dynamic scheme's active-server-fraction statistics."""
+    settings = ExperimentSettings(scale=GOLDEN_SCALE)
+    comparison = run_comparison(datacenter, settings)
+    dynamic = comparison.dynamic()
+    grid = (0.2, 0.3, 0.5, 0.7, 0.9, 1.0)
+    cdf = dynamic.active_fraction_cdf()
+    computed = {
+        "provisioned_servers": int(dynamic.provisioned_servers),
+        "mean_active_fraction": float(
+            dynamic.active_fraction_series().mean()
+        ),
+        "active_fraction_cdf": [float(cdf.at(x)) for x in grid],
+        "total_migrations": int(dynamic.total_migrations()),
+    }
+    _check(f"fig12_{datacenter}", computed)

@@ -36,7 +36,7 @@ CASES = [
     ("quickstart.py", []),
     ("trace_analysis.py", ["0.05"]),
     ("migration_study.py", []),
-    ("datacenter_planning.py", ["airlines", "0.05"]),
+    ("datacenter_planning.py", ["airlines", "--scale", "0.05", "--serial"]),
     ("custom_workload.py", []),
     ("monitoring_pipeline.py", []),
 ]

@@ -1,0 +1,157 @@
+"""The content-addressed result cache and the registry around it."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.runner.cache import (
+    NO_CACHE_ENV,
+    ResultCache,
+    cache_disabled,
+    default_cache_dir,
+)
+from repro.runner.registry import (
+    RunnerContext,
+    register_task_kind,
+    registered_kinds,
+)
+from repro.runner.task import ExperimentTask
+
+
+def _task(**params: object) -> ExperimentTask:
+    return ExperimentTask(kind="trace-set", params=params)
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path) -> None:
+        cache = ResultCache(tmp_path, salt="s")
+        task = _task(x=1)
+        assert cache.get(task) == (None, False)
+        cache.put(task, {"answer": 42})
+        result, hit = cache.get(task)
+        assert hit
+        assert result == {"answer": 42}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+
+    def test_distinct_tasks_distinct_entries(self, tmp_path) -> None:
+        cache = ResultCache(tmp_path, salt="s")
+        cache.put(_task(x=1), "one")
+        cache.put(_task(x=2), "two")
+        assert cache.entry_count() == 2
+        assert cache.get(_task(x=1)) == ("one", True)
+        assert cache.get(_task(x=2)) == ("two", True)
+
+    def test_salt_separates_code_versions(self, tmp_path) -> None:
+        task = _task(x=1)
+        ResultCache(tmp_path, salt="v1").put(task, "old")
+        _, hit = ResultCache(tmp_path, salt="v2").get(task)
+        assert not hit  # a code change orphans, never serves, old entries
+
+    def test_corrupt_entry_heals_as_miss(self, tmp_path) -> None:
+        cache = ResultCache(tmp_path, salt="s")
+        task = _task(x=1)
+        path = cache.put(task, "good")
+        path.write_bytes(b"not a pickle")
+        result, hit = cache.get(task)
+        assert (result, hit) == (None, False)
+        assert not path.exists()  # removed so the next store heals it
+        cache.put(task, "fresh")
+        assert cache.get(task) == ("fresh", True)
+
+    def test_sidecar_records_spec(self, tmp_path) -> None:
+        cache = ResultCache(tmp_path, salt="s")
+        task = _task(x=1)
+        path = cache.put(task, "r")
+        sidecar = path.with_suffix(".json")
+        assert sidecar.exists()
+        assert task.spec in sidecar.read_text(encoding="utf-8")
+
+    def test_clear_removes_everything(self, tmp_path) -> None:
+        cache = ResultCache(tmp_path, salt="s")
+        cache.put(_task(x=1), "a")
+        cache.put(_task(x=2), "b")
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
+
+    def test_layout_shards_by_kind_and_prefix(self, tmp_path) -> None:
+        cache = ResultCache(tmp_path, salt="s")
+        task = _task(x=1)
+        path = cache.path_for(task)
+        key = task.cache_key("s")
+        assert path == tmp_path / "trace-set" / key[:2] / f"{key}.pkl"
+
+
+class TestEnvironmentKnobs:
+    def test_default_cache_dir_env_override(self, tmp_path, monkeypatch) -> None:
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "override"))
+        assert default_cache_dir() == tmp_path / "override"
+
+    def test_cache_disabled_env(self, monkeypatch) -> None:
+        monkeypatch.delenv(NO_CACHE_ENV, raising=False)
+        assert not cache_disabled()
+        monkeypatch.setenv(NO_CACHE_ENV, "1")
+        assert cache_disabled()
+        monkeypatch.setenv(NO_CACHE_ENV, "0")
+        assert not cache_disabled()
+
+
+class TestRegistry:
+    def test_builtin_kinds_registered(self) -> None:
+        import repro.runner.tasks  # noqa: F401 - registration side effect
+
+        kinds = registered_kinds()
+        for kind in (
+            "trace-set",
+            "comparison",
+            "sensitivity",
+            "figure",
+            "planning-run",
+        ):
+            assert kind in kinds
+
+    def test_duplicate_registration_rejected(self) -> None:
+        @register_task_kind("test-dup-kind")
+        def _executor(params, ctx):  # pragma: no cover - never executed
+            return None
+
+        with pytest.raises(ConfigurationError):
+
+            @register_task_kind("test-dup-kind")
+            def _again(params, ctx):  # pragma: no cover - never executed
+                return None
+
+    def test_context_executes_through_cache(self, tmp_path) -> None:
+        calls = []
+
+        @register_task_kind("test-counting-kind")
+        def _count(params, ctx):
+            calls.append(dict(params))
+            return params["x"] * 2
+
+        ctx = RunnerContext(ResultCache(tmp_path, salt="s"))
+        task = ExperimentTask(kind="test-counting-kind", params={"x": 21})
+        first, hit_first, _ = ctx.execute(task)
+        second, hit_second, _ = ctx.execute(task)
+        assert (first, second) == (42, 42)
+        assert (hit_first, hit_second) == (False, True)
+        assert len(calls) == 1  # the second execution came from the cache
+
+    def test_unknown_kind_fails_helpfully(self) -> None:
+        ctx = RunnerContext(None)
+        task = ExperimentTask(kind="no-such-kind", params={})
+        with pytest.raises(ConfigurationError, match="no-such-kind"):
+            ctx.execute(task)
+
+    def test_cycle_detection(self) -> None:
+        @register_task_kind("test-cyclic-kind")
+        def _cyclic(params, ctx):
+            return ctx.run_task(
+                ExperimentTask(kind="test-cyclic-kind", params=dict(params))
+            )
+
+        ctx = RunnerContext(None)
+        with pytest.raises(ConfigurationError, match="cycle"):
+            ctx.execute(ExperimentTask(kind="test-cyclic-kind", params={}))
