@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint test check list-rules bench-smoke golden-regen
+.PHONY: lint test check list-rules bench-smoke bench-baseline golden-regen
 
 lint:
 	$(PYTHON) -m repro.devtools src/repro
@@ -17,9 +17,17 @@ test:
 check: lint test
 
 # Exercises the parallel runner end-to-end (serial vs parallel vs
-# cache-warm over the four-datacenter sweep) without pytest-benchmark.
+# cache-warm over the four-datacenter sweep) without pytest-benchmark,
+# plus a tiny kernel-benchmark pass that checks the vectorized demand
+# kernels still agree with their scalar references.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_runner_sweep.py -q -s
+	$(PYTHON) benchmarks/bench_kernels.py --smoke
+
+# Re-pin the committed kernel benchmark numbers (paper-scale instances,
+# see docs/PERFORMANCE.md); review the JSON diff like any other change.
+bench-baseline:
+	$(PYTHON) benchmarks/bench_kernels.py --out BENCH_kernels.json
 
 # Re-pin the golden regression fixtures after an intentional change;
 # review the JSON diff like any other code change.

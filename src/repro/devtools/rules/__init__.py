@@ -15,6 +15,7 @@ from repro.devtools.rules import (  # noqa: F401  (imported for registration)
     mutable_defaults,
     no_print,
     unit_suffix,
+    vectorization,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "mutable_defaults",
     "no_print",
     "unit_suffix",
+    "vectorization",
 ]

@@ -1,7 +1,15 @@
 """Placement structures and bin-packing heuristics."""
 
+from repro.placement.arraybins import BinArray
 from repro.placement.binpacking import Bin, pack, sort_decreasing
 from repro.placement.improve import improve_placement
 from repro.placement.plan import Placement
 
-__all__ = ["Bin", "Placement", "improve_placement", "pack", "sort_decreasing"]
+__all__ = [
+    "Bin",
+    "BinArray",
+    "Placement",
+    "improve_placement",
+    "pack",
+    "sort_decreasing",
+]

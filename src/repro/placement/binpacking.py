@@ -5,27 +5,37 @@ heuristic for static and semi-static consolidation (§2.2.1), with a
 utilization bound expressing the live-migration reservation (§4.3): a
 bound of 0.8 leaves 20% of each host's CPU and memory unpacked.
 
-Two pieces:
+Three pieces:
 
 * :class:`Bin` — one host's running totals during packing, including
   PCP's *tail pooling*: per-VM bodies accumulate, but only the largest
-  tail is reserved per host.
+  tail is reserved per host.  This scalar path is the *reference
+  implementation*: the vectorized engine is pinned to it by equivalence
+  tests.
+* :class:`~repro.placement.arraybins.BinArray` — the array-backed
+  engine: per-resource capacity/body/tail vectors so each VM's
+  admissibility is one boolean mask over all bins.
 * :func:`pack` — FFD/BFD over a host list with constraint support,
   a preferred-host map (dynamic consolidation seeds it with the previous
   interval's assignment to avoid gratuitous migrations), and strict
-  error reporting when a VM fits nowhere.
+  error reporting when a VM fits nowhere.  ``engine="array"`` (default)
+  routes through :class:`BinArray`; ``engine="scalar"`` keeps the
+  reference bin-at-a-time scan.  Both produce identical placements.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+import numpy as np
 
 from repro.constraints.manager import ConstraintSet
 from repro.exceptions import ConfigurationError, PlacementError
 from repro.infrastructure.datacenter import Datacenter
 from repro.infrastructure.server import PhysicalServer
 from repro.infrastructure.vm import VMDemand
+from repro.placement.arraybins import BinArray
 from repro.placement.plan import Placement
 
 __all__ = ["Bin", "pack", "sort_decreasing"]
@@ -157,6 +167,7 @@ def pack(
     constraints: Optional[ConstraintSet] = None,
     datacenter: Optional[Datacenter] = None,
     preferred: Optional[Mapping[str, str]] = None,
+    engine: str = "array",
 ) -> Placement:
     """Pack VM demands onto hosts; returns a validated placement.
 
@@ -178,6 +189,10 @@ def pack(
     preferred:
         Optional VM → host_id hints tried before any other host; used by
         dynamic consolidation to keep VMs where they already run.
+    engine:
+        ``"array"`` (default) evaluates admissibility as vector masks
+        over all bins via :class:`BinArray`; ``"scalar"`` is the
+        reference bin-at-a-time scan.  Identical placements either way.
 
     Raises
     ------
@@ -191,21 +206,22 @@ def pack(
         raise ConfigurationError(
             f"unknown strategy {strategy!r}; expected 'ffd' or 'bfd'"
         )
+    if engine not in ("array", "scalar"):
+        raise ConfigurationError(
+            f"unknown engine {engine!r}; expected 'array' or 'scalar'"
+        )
     if not hosts:
         raise PlacementError("no hosts to pack onto")
     if constraints and datacenter is None:
         raise ConfigurationError(
             "constraints require a datacenter for topology lookups"
         )
-    seen: Dict[str, bool] = {}
+    seen: Set[str] = set()
     for demand in demands:
         if demand.vm_id in seen:
             raise PlacementError(f"duplicate demand for VM {demand.vm_id!r}")
-        seen[demand.vm_id] = True
+        seen.add(demand.vm_id)
 
-    bins = [Bin.for_host(host, utilization_bound) for host in hosts]
-    bin_of_host = {b.host.host_id: b for b in bins}
-    assignment: Dict[str, str] = {}
     ordered = sort_decreasing(demands, hosts[0])
     if constraints:
         # Constrained VMs first (stable within each group): a pinned or
@@ -216,10 +232,99 @@ def pack(
             key=lambda d: not constraints.constraints_for(d.vm_id),
         )
 
-    for demand in ordered:
+    if engine == "array":
+        assignment = _pack_array(
+            ordered,
+            hosts,
+            utilization_bound,
+            strategy=strategy,
+            constraints=constraints,
+            datacenter=datacenter,
+            preferred=preferred,
+        )
+    else:
+        assignment = _pack_scalar(
+            ordered,
+            hosts,
+            utilization_bound,
+            strategy=strategy,
+            constraints=constraints,
+            datacenter=datacenter,
+            preferred=preferred,
+        )
+
+    if constraints and datacenter is not None:
+        constraints.validate(assignment, datacenter)
+    return Placement(assignment=assignment)
+
+
+def _no_fit_error(
+    demand: VMDemand, utilization_bound: float
+) -> PlacementError:
+    return PlacementError(
+        f"VM {demand.vm_id} (cpu={demand.total_cpu_rpe2:.0f} RPE2, "
+        f"mem={demand.total_memory_gb:.2f} GB) fits on no host at "
+        f"bound {utilization_bound}"
+    )
+
+
+def _suffix_min_bodies(
+    ordered: Sequence[VMDemand],
+) -> Tuple[List[float], List[float]]:
+    """Per position, the smallest body CPU/memory among demands[i:].
+
+    A bin whose remaining capacity (in either optimized dimension)
+    cannot even cover the smallest *future* body demand can never admit
+    anything again — the FFD scan drops it permanently.
+    """
+    n = len(ordered)
+    min_cpu = [0.0] * n
+    min_memory = [0.0] * n
+    running_cpu = float("inf")
+    running_memory = float("inf")
+    for i in range(n - 1, -1, -1):
+        running_cpu = min(running_cpu, ordered[i].cpu_rpe2)
+        running_memory = min(running_memory, ordered[i].memory_gb)
+        min_cpu[i] = running_cpu
+        min_memory[i] = running_memory
+    return min_cpu, min_memory
+
+
+def _pack_scalar(
+    ordered: Sequence[VMDemand],
+    hosts: Sequence[PhysicalServer],
+    utilization_bound: float,
+    *,
+    strategy: str,
+    constraints: Optional[ConstraintSet],
+    datacenter: Optional[Datacenter],
+    preferred: Optional[Mapping[str, str]],
+) -> Dict[str, str]:
+    """Reference engine: one ``Bin.fits`` call per (VM, candidate)."""
+    bins = [Bin.for_host(host, utilization_bound) for host in hosts]
+    bin_of_host = {b.host.host_id: b for b in bins}
+    assignment: Dict[str, str] = {}
+    suffix_min_cpu, suffix_min_memory = _suffix_min_bodies(ordered)
+    scan_bins = list(bins)
+
+    for position, demand in enumerate(ordered):
+        if strategy == "ffd":
+            # Drop permanently-saturated bins: remaining capacity below
+            # the smallest body demand still to come means the bin can
+            # never pass another fits() check.  Purely an optimization —
+            # a dropped bin would have failed every future scan anyway.
+            scan_bins = [
+                b
+                for b in scan_bins
+                if not _is_saturated(
+                    b,
+                    suffix_min_cpu[position],
+                    suffix_min_memory[position],
+                )
+            ]
         target = _choose_bin(
             demand,
-            bins,
+            scan_bins if strategy == "ffd" else bins,
             bin_of_host,
             assignment,
             strategy=strategy,
@@ -228,17 +333,115 @@ def pack(
             preferred=preferred,
         )
         if target is None:
-            raise PlacementError(
-                f"VM {demand.vm_id} (cpu={demand.total_cpu_rpe2:.0f} RPE2, "
-                f"mem={demand.total_memory_gb:.2f} GB) fits on no host at "
-                f"bound {utilization_bound}"
-            )
+            raise _no_fit_error(demand, utilization_bound)
         target.add(demand)
         assignment[demand.vm_id] = target.host.host_id
+    return assignment
 
-    if constraints and datacenter is not None:
-        constraints.validate(assignment, datacenter)
-    return Placement(assignment=assignment)
+
+def _is_saturated(
+    candidate: Bin, min_future_cpu: float, min_future_memory: float
+) -> bool:
+    """Can the bin never admit any remaining demand on capacity alone?"""
+    remaining_cpu = candidate.cpu_capacity - candidate.used_cpu
+    remaining_memory = candidate.memory_capacity - candidate.used_memory
+    return (
+        min_future_cpu > remaining_cpu + 1e-9
+        or min_future_memory > remaining_memory + 1e-9
+    )
+
+
+def _pack_array(
+    ordered: Sequence[VMDemand],
+    hosts: Sequence[PhysicalServer],
+    utilization_bound: float,
+    *,
+    strategy: str,
+    constraints: Optional[ConstraintSet],
+    datacenter: Optional[Datacenter],
+    preferred: Optional[Mapping[str, str]],
+) -> Dict[str, str]:
+    """Vectorized engine: admissibility as one mask over all bins.
+
+    Decision order mirrors the scalar scan exactly: FFD takes the first
+    set bit (``argmax`` of the mask), BFD the first minimum residual
+    among open admissible bins; constraint hooks run only on the masked
+    candidate set, in the same order the scalar engine would have
+    consulted them.
+    """
+    bins = BinArray(hosts, utilization_bound)
+    index_of_host = {h.host_id: i for i, h in enumerate(bins.hosts)}
+    assignment: Dict[str, str] = {}
+
+    def constraint_ok(vm_id: str, index: int) -> bool:
+        if constraints and datacenter is not None:
+            return constraints.feasible(
+                vm_id, bins.hosts[index], assignment, datacenter
+            )
+        return True
+
+    for demand in ordered:
+        target = _choose_bin_array(
+            demand, bins, index_of_host, constraint_ok,
+            strategy=strategy, preferred=preferred,
+        )
+        if target is None:
+            raise _no_fit_error(demand, utilization_bound)
+        bins.add(target, demand)
+        assignment[demand.vm_id] = bins.hosts[target].host_id
+    return assignment
+
+
+def _choose_bin_array(
+    demand: VMDemand,
+    bins: BinArray,
+    index_of_host: Mapping[str, int],
+    constraint_ok,
+    *,
+    strategy: str,
+    preferred: Optional[Mapping[str, str]],
+) -> Optional[int]:
+    """Pick the bin index for one VM, or None if nothing admits it."""
+    if preferred is not None:
+        hint = preferred.get(demand.vm_id)
+        if hint is not None:
+            hinted = index_of_host.get(hint)
+            if (
+                hinted is not None
+                and bins.fits_one(hinted, demand)
+                and constraint_ok(demand.vm_id, hinted)
+            ):
+                return hinted
+
+    mask = bins.fits_mask(demand)
+    if strategy == "ffd":
+        first = int(np.argmax(mask))
+        if not mask[first]:
+            return None
+        if constraint_ok(demand.vm_id, first):
+            return first
+        for index in np.flatnonzero(mask):
+            index = int(index)
+            if index == first:
+                continue
+            if constraint_ok(demand.vm_id, index):
+                return index
+        return None
+
+    # Best fit: among open (non-empty) admissible bins pick the
+    # tightest residual; open a new bin only when none admits the VM.
+    open_candidates = np.flatnonzero(mask & (bins.vm_count > 0))
+    if open_candidates.size:
+        residuals = bins.residuals(open_candidates)
+        # Stable residual order keeps the scalar tie-break: the first
+        # bin (lowest index) among equal residuals wins.
+        for pick in open_candidates[np.argsort(residuals, kind="stable")]:
+            if constraint_ok(demand.vm_id, int(pick)):
+                return int(pick)
+    for index in np.flatnonzero(mask & (bins.vm_count == 0)):
+        if constraint_ok(demand.vm_id, int(index)):
+            return int(index)
+    return None
 
 
 def _choose_bin(

@@ -28,6 +28,7 @@ from repro.workloads.generator import (
     generate_trace_set,
 )
 from repro.workloads.io import load_trace_set, save_trace_set
+from repro.workloads.store import TraceStore
 from repro.workloads.trace import (
     HOURS_PER_DAY,
     ResourceTrace,
@@ -57,6 +58,7 @@ __all__ = [
     "ScheduledJobSpec",
     "ServerTrace",
     "TraceSet",
+    "TraceStore",
     "WEB_BURSTY",
     "WEB_MODERATE",
     "WorkloadClassProfile",

@@ -1,0 +1,150 @@
+"""Columnar (structure-of-arrays) backing store for trace sets.
+
+:class:`TraceStore` holds one datacenter's demand as immutable
+``(n_servers, n_points)`` matrices — CPU utilization fractions, absolute
+CPU demand in RPE2, and memory demand in GB — built once from a list of
+:class:`~repro.workloads.trace.ServerTrace` objects and shared by every
+consumer that needs bulk per-timestep math (the emulator's scatter-add
+replay, aggregate demand queries, trace analysis).
+
+The row-major ``float64`` layout is the contract: row ``i`` is VM
+``vm_ids[i]``, and every matrix is marked read-only so views handed out
+by :meth:`window` are safe to share without copies.  Column windows are
+zero-copy NumPy views; row subsets (:meth:`take`) are single bulk fancy
+-index gathers.  All derived matrices are computed with the same
+elementwise operations as the per-trace scalar path, so results are
+bit-identical to iterating traces one at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TraceError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.workloads.trace import ServerTrace
+
+__all__ = ["TraceStore"]
+
+
+def _frozen(array: np.ndarray) -> np.ndarray:
+    array.flags.writeable = False
+    return array
+
+
+@dataclass(frozen=True)
+class TraceStore:
+    """Immutable columnar view of one trace set.
+
+    Attributes
+    ----------
+    vm_ids:
+        Row labels: ``vm_ids[i]`` owns row ``i`` of every matrix.
+    cpu_util:
+        ``(n, T)`` CPU utilization fractions of the source servers.
+    cpu_rpe2:
+        ``(n, T)`` absolute CPU demand (utilization × source capacity).
+    memory_gb:
+        ``(n, T)`` memory demand in GB.
+    interval_hours:
+        Sampling interval shared by every row.
+    """
+
+    vm_ids: Tuple[str, ...]
+    cpu_util: np.ndarray
+    cpu_rpe2: np.ndarray
+    memory_gb: np.ndarray
+    interval_hours: float
+    _row_of: Mapping[str, int] = field(repr=False, compare=False, default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        n = len(self.vm_ids)
+        for name in ("cpu_util", "cpu_rpe2", "memory_gb"):
+            matrix = getattr(self, name)
+            if matrix.ndim != 2 or matrix.shape[0] != n:
+                raise TraceError(
+                    f"TraceStore.{name}: expected ({n}, T) matrix, got "
+                    f"shape {matrix.shape}"
+                )
+            if matrix.shape[1] != self.cpu_util.shape[1]:
+                raise TraceError(f"TraceStore.{name}: column count mismatch")
+        object.__setattr__(
+            self, "_row_of", {vm_id: i for i, vm_id in enumerate(self.vm_ids)}
+        )
+
+    @classmethod
+    def from_traces(cls, traces: Sequence["ServerTrace"]) -> "TraceStore":
+        """Build the columnar matrices from row-per-trace objects.
+
+        One bulk fill per metric; the absolute-CPU matrix is derived by
+        broadcasting each row's source capacity, which performs exactly
+        the same float multiplications as ``ServerTrace.cpu_rpe2``.
+        """
+        if not traces:
+            raise TraceError("cannot build a TraceStore from zero traces")
+        n = len(traces)
+        n_points = len(traces[0])
+        cpu_util = np.empty((n, n_points), dtype=float)
+        memory_gb = np.empty((n, n_points), dtype=float)
+        capacity = np.empty((n, 1), dtype=float)
+        for row, trace in enumerate(traces):
+            cpu_util[row, :] = trace.cpu_util.values
+            memory_gb[row, :] = trace.memory_gb.values
+            capacity[row, 0] = trace.source_spec.cpu_rpe2
+        return cls(
+            vm_ids=tuple(t.vm_id for t in traces),
+            cpu_util=_frozen(cpu_util),
+            cpu_rpe2=_frozen(cpu_util * capacity),
+            memory_gb=_frozen(memory_gb),
+            interval_hours=traces[0].interval_hours,
+        )
+
+    @property
+    def n_servers(self) -> int:
+        return len(self.vm_ids)
+
+    @property
+    def n_points(self) -> int:
+        return int(self.cpu_util.shape[1])
+
+    def row_of(self, vm_id: str) -> int:
+        """Matrix row of one VM; raises :class:`TraceError` if unknown."""
+        try:
+            return self._row_of[vm_id]
+        except KeyError:
+            raise TraceError(f"unknown vm_id {vm_id!r} in TraceStore") from None
+
+    def window(self, start_index: int, end_index: int) -> "TraceStore":
+        """Zero-copy column slice covering ``[start_index, end_index)``.
+
+        The returned store shares memory with this one: slices of
+        read-only matrices are read-only views, so no demand data is
+        duplicated however many history/evaluation windows are cut.
+        """
+        if not 0 <= start_index < end_index <= self.n_points:
+            raise TraceError(
+                f"window [{start_index}, {end_index}) out of range for "
+                f"{self.n_points} points"
+            )
+        return TraceStore(
+            vm_ids=self.vm_ids,
+            cpu_util=self.cpu_util[:, start_index:end_index],
+            cpu_rpe2=self.cpu_rpe2[:, start_index:end_index],
+            memory_gb=self.memory_gb[:, start_index:end_index],
+            interval_hours=self.interval_hours,
+        )
+
+    def take(self, vm_ids: Sequence[str]) -> "TraceStore":
+        """Row subset in the given order (one bulk gather per matrix)."""
+        rows = np.array([self.row_of(v) for v in vm_ids], dtype=np.intp)
+        return TraceStore(
+            vm_ids=tuple(vm_ids),
+            cpu_util=_frozen(self.cpu_util[rows]),
+            cpu_rpe2=_frozen(self.cpu_rpe2[rows]),
+            memory_gb=_frozen(self.memory_gb[rows]),
+            interval_hours=self.interval_hours,
+        )

@@ -20,13 +20,14 @@ stored directly in GB (the paper reports memory demand in absolute units).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.exceptions import TraceError
 from repro.infrastructure.server import ServerSpec
 from repro.infrastructure.vm import VirtualMachine
+from repro.workloads.store import TraceStore
 
 __all__ = ["ResourceTrace", "ServerTrace", "TraceSet", "HOURS_PER_DAY"]
 
@@ -71,8 +72,15 @@ class ResourceTrace:
             raise TraceError(
                 f"interval_hours must be > 0, got {self.interval_hours}"
             )
-        array = array.copy()
-        array.flags.writeable = False
+        # Defensive copy only when the caller could still mutate the
+        # array through an alias: a writable input that asarray passed
+        # through unchanged.  Read-only inputs (e.g. slices of another
+        # frozen trace — every window() call) and arrays freshly
+        # converted from sequences are safe to adopt as views.
+        if array is self.values and array.flags.writeable:
+            array = array.copy()
+        if array.flags.writeable:
+            array.flags.writeable = False
         object.__setattr__(self, "values", array)
 
     def __len__(self) -> int:
@@ -184,15 +192,24 @@ class TraceSet:
 
     All member traces must have the same length and sampling interval so
     that aggregate (cross-server, per-timestep) queries are well defined.
+
+    Bulk queries are served by a cached columnar :class:`TraceStore`
+    (built lazily on first use, invalidated by :meth:`add`), so repeated
+    matrix/aggregate calls cost one build instead of one ``vstack`` per
+    call.
     """
 
     name: str
     _traces: List[ServerTrace] = field(default_factory=list)
     _by_id: Dict[str, ServerTrace] = field(default_factory=dict)
+    _store: Optional[TraceStore] = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         traces, self._traces = list(self._traces), []
         self._by_id = {}
+        self._store = None
         for trace in traces:
             self.add(trace)
 
@@ -213,6 +230,16 @@ class TraceSet:
                 )
         self._traces.append(trace)
         self._by_id[trace.vm_id] = trace
+        self._store = None
+
+    @property
+    def store(self) -> TraceStore:
+        """The cached columnar backing store (built on first access)."""
+        if self._store is None:
+            if not self._traces:
+                raise TraceError(f"trace set {self.name!r} is empty")
+            self._store = TraceStore.from_traces(self._traces)
+        return self._store
 
     @property
     def traces(self) -> Tuple[ServerTrace, ...]:
@@ -254,36 +281,64 @@ class TraceSet:
         return self.n_points * self.interval_hours
 
     def window(self, start_hour: float, end_hour: float) -> "TraceSet":
-        """Slice every trace to ``[start_hour, end_hour)``."""
-        return TraceSet(
+        """Slice every trace to ``[start_hour, end_hour)``.
+
+        Per-trace slices are read-only views (no demand data is copied),
+        and an already-built columnar store is propagated as a zero-copy
+        column slice instead of being rebuilt by the child.
+        """
+        child = TraceSet(
             name=self.name,
             _traces=[t.window(start_hour, end_hour) for t in self._traces],
         )
+        if self._store is not None and self._traces:
+            start_index = int(start_hour / self.interval_hours)
+            end_index = int(end_hour / self.interval_hours)
+            child._store = self._store.window(start_index, end_index)
+        return child
 
     def subset(self, vm_ids: Iterable[str]) -> "TraceSet":
         """Restrict to the given VMs (order follows ``vm_ids``)."""
-        return TraceSet(
-            name=self.name, _traces=[self.trace(v) for v in vm_ids]
+        selected = list(vm_ids)
+        child = TraceSet(
+            name=self.name, _traces=[self.trace(v) for v in selected]
         )
+        if self._store is not None and selected:
+            child._store = self._store.take(selected)
+        return child
+
+    def cpu_util_matrix(self) -> np.ndarray:
+        """(n_servers, n_points) read-only matrix of CPU utilization."""
+        return self.store.cpu_util
 
     def cpu_rpe2_matrix(self) -> np.ndarray:
-        """(n_servers, n_points) matrix of absolute CPU demand in RPE2."""
-        return np.vstack([t.cpu_rpe2 for t in self._traces])
+        """(n_servers, n_points) read-only matrix of CPU demand in RPE2."""
+        return self.store.cpu_rpe2
 
     def memory_gb_matrix(self) -> np.ndarray:
-        """(n_servers, n_points) matrix of memory demand in GB."""
-        return np.vstack([t.memory_gb.values for t in self._traces])
+        """(n_servers, n_points) read-only matrix of memory demand in GB."""
+        return self.store.memory_gb
 
     def aggregate_cpu_rpe2(self) -> np.ndarray:
         """Total CPU demand across all servers, per timestep (RPE2)."""
-        return self.cpu_rpe2_matrix().sum(axis=0)
+        return self.store.cpu_rpe2.sum(axis=0)
 
     def aggregate_memory_gb(self) -> np.ndarray:
         """Total memory demand across all servers, per timestep (GB)."""
-        return self.memory_gb_matrix().sum(axis=0)
+        return self.store.memory_gb.sum(axis=0)
 
     def mean_cpu_utilization(self) -> float:
         """Mean CPU utilization fraction across servers and time (Table 2)."""
-        return float(
-            np.mean([t.cpu_util.values.mean() for t in self._traces])
-        )
+        return float(np.mean(self.store.cpu_util.mean(axis=1)))
+
+    def per_vm_mean_cpu_util(self) -> np.ndarray:
+        """Per-VM mean CPU utilization fraction, in trace order."""
+        return self.store.cpu_util.mean(axis=1)
+
+    def per_vm_peak_cpu_rpe2(self) -> np.ndarray:
+        """Per-VM peak absolute CPU demand (RPE2), in trace order."""
+        return self.store.cpu_rpe2.max(axis=1)
+
+    def per_vm_mean_memory_gb(self) -> np.ndarray:
+        """Per-VM mean memory demand (GB), in trace order."""
+        return self.store.memory_gb.mean(axis=1)

@@ -1,0 +1,44 @@
+"""Fixture: columnar kernel shapes REPRO109 must accept. Never imported."""
+
+import numpy as np
+
+
+def scatter_segment(
+    cpu_matrix: np.ndarray,
+    vm_rows: np.ndarray,
+    host_rows: np.ndarray,
+    start: int,
+    end: int,
+    out: np.ndarray,
+) -> np.ndarray:
+    values = cpu_matrix[vm_rows, start:end]
+    width = end - start
+    linear = host_rows[:, np.newaxis] * width + np.arange(width)
+    summed = np.bincount(
+        linear.ravel(),
+        weights=values.ravel(),
+        minlength=out.shape[0] * width,
+    )
+    out[:, start:end] += summed.reshape(out.shape[0], width)
+    return out
+
+
+def scatter_wide(
+    cpu_matrix: np.ndarray,
+    host_rows: np.ndarray,
+    start: int,
+    end: int,
+    out: np.ndarray,
+) -> np.ndarray:
+    for position, row in enumerate(host_rows):  # host rows, not traces
+        out[row, start:end] += cpu_matrix[position, start:end]
+    return out
+
+
+def fits_mask(
+    body_cpu: np.ndarray,
+    demand_cpu: float,
+    cpu_capacity: np.ndarray,
+    slack_rpe2: float,
+) -> np.ndarray:
+    return body_cpu + demand_cpu <= cpu_capacity + slack_rpe2

@@ -1,0 +1,28 @@
+"""Fixture: de-vectorized kernel shapes REPRO109 must flag. Never imported."""
+
+import numpy as np
+
+
+def rebuild_matrix(traces):
+    matrix = np.vstack([t.values for t in traces])  # finding: vstack
+    return matrix
+
+
+def rebuild_matrix_aliased(rows):
+    import numpy
+
+    return numpy.vstack(rows)  # finding: vstack via module name
+
+
+def accumulate_demand(traces, out):
+    for trace in traces:  # finding: loop over traces
+        out += trace.values
+
+
+class Replayer:
+    def replay(self, out):
+        for trace in self.trace_set:  # finding: loop over trace_set
+            out += trace.cpu_util.values
+        for trace in sorted(self._traces):  # finding: loop over _traces
+            out += trace.memory_gb.values
+        return out

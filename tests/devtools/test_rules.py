@@ -24,6 +24,7 @@ RULE_CASES = [
     ("REPRO106", "infrastructure/r106_unvalidated.py", 1, "infrastructure/r106_clean.py"),
     ("REPRO107", "r107_stray_print.py", 2, "cli.py"),
     ("REPRO108", "core/r108_missing_annotations.py", 4, "core/r108_clean.py"),
+    ("REPRO109", "emulator/r109_per_trace_loops.py", 5, "emulator/r109_clean.py"),
 ]
 
 

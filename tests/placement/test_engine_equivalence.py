@@ -1,0 +1,226 @@
+"""Vectorized packing engine == scalar reference, property-based.
+
+The array engine (:class:`BinArray` masks) must make exactly the same
+decisions as the retained scalar :class:`Bin` scan — same assignment,
+same failures — across randomized instances covering tail pooling,
+preferred-host hints, both strategies, and constraints.  Driven by
+hypothesis when available, with a seeded stdlib-:mod:`random` sweep that
+always runs so the suite keeps its coverage without the dependency.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional
+
+import pytest
+
+from repro.constraints import AntiColocate, ExcludeHosts
+from repro.constraints.manager import ConstraintSet
+from repro.exceptions import PlacementError
+from repro.infrastructure.datacenter import Datacenter
+from repro.infrastructure.server import PhysicalServer, ServerSpec
+from repro.infrastructure.vm import VMDemand
+from repro.placement.binpacking import pack
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - environment without hypothesis
+    HAVE_HYPOTHESIS = False
+
+HOST_CPU = 2000.0
+HOST_MEM = 16.0
+
+
+def _pool(n_hosts: int) -> Datacenter:
+    dc = Datacenter(name="equiv")
+    for index in range(n_hosts):
+        dc.add_host(
+            PhysicalServer(
+                host_id=f"h{index:03d}",
+                spec=ServerSpec(cpu_rpe2=HOST_CPU, memory_gb=HOST_MEM),
+            )
+        )
+    return dc
+
+
+def assert_engines_agree(
+    demands: List[VMDemand],
+    *,
+    strategy: str = "ffd",
+    bound: float = 1.0,
+    preferred: Optional[Dict[str, str]] = None,
+    constraints: Optional[ConstraintSet] = None,
+    n_hosts: Optional[int] = None,
+) -> None:
+    """Both engines produce the same placement or the same failure."""
+    pool = _pool(n_hosts if n_hosts is not None else len(demands))
+    datacenter = pool if constraints else None
+    kwargs = dict(
+        utilization_bound=bound,
+        strategy=strategy,
+        constraints=constraints,
+        datacenter=datacenter,
+        preferred=preferred,
+    )
+    try:
+        scalar = pack(demands, pool.hosts, engine="scalar", **kwargs)
+    except PlacementError:
+        with pytest.raises(PlacementError):
+            pack(demands, pool.hosts, engine="array", **kwargs)
+        return
+    array = pack(demands, pool.hosts, engine="array", **kwargs)
+    assert array.assignment == scalar.assignment
+
+
+def _random_demands(
+    rng: random.Random, *, with_tails: bool, n_vms: int
+) -> List[VMDemand]:
+    demands = []
+    for i in range(n_vms):
+        demands.append(
+            VMDemand(
+                vm_id=f"vm{i:03d}",
+                cpu_rpe2=rng.uniform(0.0, 900.0),
+                memory_gb=rng.uniform(0.0, 7.0),
+                tail_cpu_rpe2=rng.uniform(0.0, 300.0) if with_tails else 0.0,
+                tail_memory_gb=rng.uniform(0.0, 2.0) if with_tails else 0.0,
+            )
+        )
+    return demands
+
+
+# ----------------------------------------------------------------------
+# Seeded stdlib sweep: always runs, no hypothesis required.
+
+
+@pytest.mark.parametrize("strategy", ["ffd", "bfd"])
+@pytest.mark.parametrize("with_tails", [False, True])
+def test_random_instances_agree(strategy: str, with_tails: bool) -> None:
+    rng = random.Random(f"{strategy}-{with_tails}")
+    for _ in range(30):
+        demands = _random_demands(
+            rng, with_tails=with_tails, n_vms=rng.randint(1, 40)
+        )
+        assert_engines_agree(
+            demands,
+            strategy=strategy,
+            bound=rng.choice([0.7, 0.8, 1.0]),
+        )
+
+
+@pytest.mark.parametrize("strategy", ["ffd", "bfd"])
+def test_preferred_host_hints_agree(strategy: str) -> None:
+    """Dynamic-consolidation hints route identically in both engines."""
+    rng = random.Random(f"hints-{strategy}")
+    for _ in range(20):
+        demands = _random_demands(
+            rng, with_tails=rng.random() < 0.5, n_vms=rng.randint(1, 30)
+        )
+        # Hint a random subset of VMs at random (sometimes unknown) hosts.
+        preferred = {
+            d.vm_id: f"h{rng.randint(0, len(demands) + 2):03d}"
+            for d in demands
+            if rng.random() < 0.6
+        }
+        assert_engines_agree(demands, strategy=strategy, preferred=preferred)
+
+
+@pytest.mark.parametrize("strategy", ["ffd", "bfd"])
+def test_constrained_instances_agree(strategy: str) -> None:
+    """Constraint hooks fire on the masked candidate set identically."""
+    rng = random.Random(f"constraints-{strategy}")
+    for _ in range(15):
+        n_vms = rng.randint(4, 24)
+        demands = _random_demands(rng, with_tails=False, n_vms=n_vms)
+        constraints = ConstraintSet()
+        spread = [d.vm_id for d in rng.sample(demands, k=min(4, n_vms))]
+        constraints.add(AntiColocate(*spread))
+        excluded = rng.sample(demands, k=min(2, n_vms))
+        for demand in excluded:
+            constraints.add(
+                ExcludeHosts(demand.vm_id, [f"h{rng.randint(0, 3):03d}"])
+            )
+        assert_engines_agree(
+            demands, strategy=strategy, constraints=constraints
+        )
+
+
+def test_oversized_vm_fails_in_both_engines() -> None:
+    demand = VMDemand(vm_id="big", cpu_rpe2=HOST_CPU * 2, memory_gb=1.0)
+    assert_engines_agree([demand], n_hosts=3)
+
+
+def test_tail_pooling_exercises_max_not_sum() -> None:
+    """Two tails pool (max), so both fit where summed tails would not."""
+    demands = [
+        VMDemand(
+            vm_id="a", cpu_rpe2=700.0, memory_gb=1.0, tail_cpu_rpe2=600.0
+        ),
+        VMDemand(
+            vm_id="b", cpu_rpe2=700.0, memory_gb=1.0, tail_cpu_rpe2=600.0
+        ),
+    ]
+    pool = _pool(2)
+    for engine in ("scalar", "array"):
+        placement = pack(demands, pool.hosts, engine=engine)
+        assert placement.assignment == {"a": "h000", "b": "h000"}
+
+
+def test_duplicate_vm_ids_rejected() -> None:
+    demand = VMDemand(vm_id="dup", cpu_rpe2=1.0, memory_gb=0.1)
+    pool = _pool(2)
+    for engine in ("scalar", "array"):
+        with pytest.raises(PlacementError):
+            pack([demand, demand], pool.hosts, engine=engine)
+
+
+# ----------------------------------------------------------------------
+# Hypothesis sweep: wider value coverage when the dependency is present.
+
+if HAVE_HYPOTHESIS:
+    demand_strategy = st.builds(
+        lambda i, cpu, mem, tail_cpu, tail_mem: VMDemand(
+            vm_id=f"vm{i}",
+            cpu_rpe2=cpu,
+            memory_gb=mem,
+            tail_cpu_rpe2=tail_cpu,
+            tail_memory_gb=tail_mem,
+        ),
+        st.integers(0, 10**6),
+        st.floats(0.0, 900.0),
+        st.floats(0.0, 7.0),
+        st.floats(0.0, 300.0),
+        st.floats(0.0, 2.0),
+    )
+
+    @st.composite
+    def demand_lists(draw):
+        drawn = draw(st.lists(demand_strategy, min_size=1, max_size=40))
+        unique = {d.vm_id: d for d in drawn}
+        return list(unique.values())
+
+    @given(
+        demands=demand_lists(),
+        strategy=st.sampled_from(["ffd", "bfd"]),
+        bound=st.sampled_from([0.7, 0.8, 1.0]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_hypothesis_engines_agree(demands, strategy, bound):
+        assert_engines_agree(demands, strategy=strategy, bound=bound)
+
+    @given(
+        demands=demand_lists(),
+        strategy=st.sampled_from(["ffd", "bfd"]),
+        hint_bits=st.lists(st.booleans(), min_size=40, max_size=40),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_hypothesis_hints_agree(demands, strategy, hint_bits):
+        preferred = {
+            d.vm_id: f"h{i % 7:03d}"
+            for i, d in enumerate(demands)
+            if hint_bits[i % len(hint_bits)]
+        }
+        assert_engines_agree(demands, strategy=strategy, preferred=preferred)
