@@ -18,16 +18,18 @@ check: lint test
 
 # Exercises the parallel runner end-to-end (serial vs parallel vs
 # cache-warm over the four-datacenter sweep) without pytest-benchmark,
-# plus a tiny kernel-benchmark pass that checks the vectorized demand
-# kernels still agree with their scalar references.
+# plus tiny kernel- and planner-benchmark passes that check the
+# vectorized engines still agree with their scalar references.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_runner_sweep.py -q -s
 	$(PYTHON) benchmarks/bench_kernels.py --smoke
+	$(PYTHON) benchmarks/bench_planners.py --smoke
 
-# Re-pin the committed kernel benchmark numbers (paper-scale instances,
-# see docs/PERFORMANCE.md); review the JSON diff like any other change.
+# Re-pin the committed benchmark numbers (paper-scale instances, see
+# docs/PERFORMANCE.md); review the JSON diffs like any other change.
 bench-baseline:
 	$(PYTHON) benchmarks/bench_kernels.py --out BENCH_kernels.json
+	$(PYTHON) benchmarks/bench_planners.py --out BENCH_planners.json
 
 # Re-pin the golden regression fixtures after an intentional change;
 # review the JSON diff like any other code change.

@@ -1,0 +1,179 @@
+"""End-to-end planner benchmarks: array engines vs scalar references.
+
+Times whole ``plan()`` calls — prediction, sizing, packing, vacate
+sweeps, schedule assembly — on paper-scale instances (~100 and ~1000
+servers, 48 h history + 720 h evaluation at 2 h intervals):
+
+* **dynamic-plan** — ``DynamicConsolidation(engine="array")`` (peak
+  tables, incremental sticky repack, array vacate sweeps) vs
+  ``engine="scalar"`` (per-VM predict/size + from-scratch ``pack()``
+  per interval);
+* **stochastic-plan** — ``StochasticConsolidation(engine="array")``
+  (vectorized pooled-tail prefilter, matrix peak clustering) vs
+  ``engine="scalar"`` (per-bin cluster-tail scan).
+
+Every case asserts schedule equality between the engines before timing
+anything: the speedup is only meaningful because the answers are
+bit-identical.
+
+Plain script, no pytest-benchmark::
+
+    PYTHONPATH=src python benchmarks/bench_planners.py --out BENCH_planners.json
+    PYTHONPATH=src python benchmarks/bench_planners.py --smoke
+
+``--smoke`` shrinks the instances for CI: it checks the engines run and
+agree, not that the speedup target (>=5x on the 1000-server dynamic
+plan) holds.  The committed ``BENCH_planners.json`` is regenerated with
+``make bench-baseline``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import numpy as np
+
+from repro.core.base import PlanningConfig, PlanningContext
+from repro.core.dynamic import DynamicConsolidation
+from repro.core.stochastic import StochasticConsolidation
+from repro.infrastructure.datacenter import Datacenter
+from repro.infrastructure.server import PhysicalServer, ServerSpec
+from repro.workloads.datacenters import generate_datacenter
+
+# The banking preset has 816 servers at scale 1.0 (see bench_kernels).
+_BANKING_SERVERS = 816
+_HISTORY_HOURS = 48
+
+
+def _best_of(repeats: int, fn: Callable[[], object]) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _pool(n_hosts: int) -> Datacenter:
+    datacenter = Datacenter(name="bench-pool")
+    for index in range(n_hosts):
+        datacenter.add_host(
+            PhysicalServer(
+                host_id=f"h{index:04d}",
+                spec=ServerSpec(cpu_rpe2=50_000.0, memory_gb=256.0),
+            )
+        )
+    return datacenter
+
+
+def _context(traces) -> PlanningContext:
+    hours = int(traces.duration_hours)
+    return PlanningContext(
+        history=traces.window(0, _HISTORY_HOURS),
+        evaluation=traces.window(_HISTORY_HOURS, hours),
+        datacenter=_pool(max(4, len(traces) // 2)),
+        config=PlanningConfig(),
+    )
+
+
+def _assert_schedules_identical(scalar, array) -> None:
+    assert len(scalar) == len(array)
+    for left, right in zip(scalar.segments, array.segments):
+        assert left.placement.assignment == right.placement.assignment
+
+
+def bench_dynamic(context: PlanningContext, repeats: int) -> Dict[str, float]:
+    scalar = DynamicConsolidation(engine="scalar")
+    array = DynamicConsolidation(engine="array")
+    _assert_schedules_identical(scalar.plan(context), array.plan(context))
+    return {
+        "vectorized_s": _best_of(repeats, lambda: array.plan(context)),
+        "reference_s": _best_of(repeats, lambda: scalar.plan(context)),
+    }
+
+
+def bench_stochastic(
+    context: PlanningContext, repeats: int
+) -> Dict[str, float]:
+    scalar = StochasticConsolidation(engine="scalar")
+    array = StochasticConsolidation(engine="array")
+    left = scalar.plan(context).segments[0].placement
+    right = array.plan(context).segments[0].placement
+    assert left.assignment == right.assignment
+    return {
+        "vectorized_s": _best_of(repeats, lambda: array.plan(context)),
+        "reference_s": _best_of(repeats, lambda: scalar.plan(context)),
+    }
+
+
+def run(smoke: bool) -> Dict[str, object]:
+    if smoke:
+        sizes, days, repeats = [50], 4, 1
+    else:
+        sizes, days, repeats = [100, 1000], 32, 3
+    results: List[Dict[str, object]] = []
+    for n_servers in sizes:
+        traces = generate_datacenter(
+            "banking", scale=n_servers / _BANKING_SERVERS, days=days, seed=7
+        )
+        context = _context(traces)
+        cases = [
+            ("dynamic-plan", lambda: bench_dynamic(context, repeats)),
+            ("stochastic-plan", lambda: bench_stochastic(context, repeats)),
+        ]
+        eval_hours = int(context.evaluation.duration_hours)
+        for name, runner in cases:
+            timings = runner()
+            speedup = timings["reference_s"] / timings["vectorized_s"]
+            entry = {
+                "benchmark": name,
+                "n_servers": len(traces),
+                "n_hours": eval_hours,
+                "vectorized_s": round(timings["vectorized_s"], 6),
+                "reference_s": round(timings["reference_s"], 6),
+                "speedup": round(speedup, 2),
+            }
+            results.append(entry)
+            print(
+                f"{name:16s} n={len(traces):5d} T={eval_hours:4d}h  "
+                f"vectorized {entry['vectorized_s']:.4f}s  "
+                f"reference {entry['reference_s']:.4f}s  "
+                f"speedup {entry['speedup']:.2f}x"
+            )
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "mode": "smoke" if smoke else "full",
+        "repeats_best_of": repeats,
+        "results": results,
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny instances for CI: correctness + plumbing, not speedups",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="write results as JSON"
+    )
+    options = parser.parse_args()
+    report = run(options.smoke)
+    if options.out is not None:
+        options.out.write_text(json.dumps(report, indent=2) + "\n")
+        print(f"wrote {options.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -32,7 +32,9 @@ from typing import Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from repro.core.base import ConsolidationAlgorithm, PlanningContext
+from repro.core.dynamic_vector import plan_dynamic_array
 from repro.emulator.schedule import PlacementSchedule
+from repro.exceptions import ConfigurationError
 from repro.infrastructure.datacenter import Datacenter
 from repro.infrastructure.server import PhysicalServer
 from repro.infrastructure.vm import VMDemand
@@ -73,6 +75,15 @@ class DynamicConsolidation(ConsolidationAlgorithm):
     #: Cap on consolidation sweeps per interval (each sweep is a full
     #: pass over active hosts; convergence is quick in practice).
     max_vacate_sweeps: int = 3
+    #: ``"array"`` plans on the columnar kernels
+    #: (:func:`~repro.core.dynamic_vector.plan_dynamic_array`),
+    #: ``"scalar"`` is the retained per-VM reference below, ``"auto"``
+    #: picks the array path whenever no deployment constraints are set
+    #: (the array planner does not evaluate constraint hooks) *and* the
+    #: instance is exactly this class — subclasses override the scalar
+    #: hooks (``_place_interval`` etc.), which the array planner does
+    #: not call.  Both engines produce bit-identical schedules.
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
         self._cost_cache: Dict[float, float] = {}
@@ -80,6 +91,26 @@ class DynamicConsolidation(ConsolidationAlgorithm):
     # ------------------------------------------------------------------
 
     def plan(self, context: PlanningContext) -> PlacementSchedule:
+        if self.engine not in ("auto", "array", "scalar"):
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected 'auto', "
+                "'array' or 'scalar'"
+            )
+        if self.engine == "array" and context.constraints:
+            raise ConfigurationError(
+                "engine='array' does not support deployment constraints; "
+                "use engine='scalar'"
+            )
+        if self.engine == "array" or (
+            self.engine == "auto"
+            and not context.constraints
+            and type(self) is DynamicConsolidation
+        ):
+            return plan_dynamic_array(self, context)
+        return self._plan_scalar(context)
+
+    def _plan_scalar(self, context: PlanningContext) -> PlacementSchedule:
+        """Retained scalar reference (the equivalence-suite baseline)."""
         points = context.points_per_interval
         history_points = context.history.n_points
         vm_ids = list(context.evaluation.vm_ids)
@@ -386,6 +417,16 @@ class DynamicConsolidation(ConsolidationAlgorithm):
             cost = self.migration_cost.cost_wh(max(key, 0.1))
             self._cost_cache[key] = cost
         return cost
+
+    def _cached_cost_many(
+        self, memory_gb: Sequence[float]
+    ) -> List[float]:
+        """Batched :meth:`_cached_cost` (array vacate's per-VM costs).
+
+        Keys stay ``round(m, 1)`` — python rounding, not ``np.round`` —
+        so cache entries are shared bit-exactly with the scalar path.
+        """
+        return [self._cached_cost(m) for m in memory_gb]
 
     @staticmethod
     def _idle_watts(host: PhysicalServer) -> float:

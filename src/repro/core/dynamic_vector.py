@@ -1,0 +1,538 @@
+"""Array-backed dynamic consolidation planner (``engine="array"``).
+
+:func:`plan_dynamic_array` reproduces
+:meth:`repro.core.dynamic.DynamicConsolidation.plan` *bit-identically*
+while replacing its per-VM object churn with columnar kernels:
+
+* prediction + sizing happen **once per plan** — a full
+  ``(n_vms, n_intervals)`` peak table
+  (:func:`~repro.sizing.prediction.build_peak_table`) pushed through
+  :meth:`~repro.sizing.estimator.SizeEstimator.estimate_matrix`, so the
+  per-interval loop only reads columns;
+* the sticky FFD pack keeps per-host running totals in flat float lists
+  carried across intervals (the delta-pack state) instead of rebuilding
+  ``Bin`` objects 360 times;
+* vacate sweeps score sources and candidates with vectorized
+  residual / idle-power / migration-cost arrays and fall back to exact
+  scalar folds only on the short candidate prefix each VM actually
+  scans.
+
+Exactness contract (see ``docs/PERFORMANCE.md``): every float the
+reference computes is recomputed here by the *same* IEEE-754 operations
+in the *same* order — elementwise numpy ops mirror scalar arithmetic
+exactly, comparisons use the identical ``capacity + 1e-9`` slack, and
+all per-host accumulations replay the reference's left folds.  The only
+reference behaviours intentionally *not* replayed are pure
+no-state-change shortcuts (skipping a vacate attempt whose cost gate or
+first, largest VM already fails — outcomes the reference also discards).
+Dynamic sizing is :class:`~repro.sizing.functions.MaxSizing`, so every
+demand tail is exactly ``0.0`` and ``x + max(0.0, 0.0)`` reduces to
+``x`` — the two-term fit checks below match the reference's four-term
+expressions bit for bit.
+
+This module must not import :mod:`repro.core.dynamic` (the algorithm
+object is passed in), keeping the dispatch one-directional.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+import numpy as np
+
+from repro.core.base import PlanningContext
+from repro.emulator.schedule import PlacementSchedule
+from repro.exceptions import PlacementError
+from repro.placement.binpacking import _no_fit_error
+from repro.placement.plan import Placement
+from repro.sizing.estimator import SizeEstimator
+from repro.sizing.functions import MaxSizing
+from repro.sizing.prediction import build_peak_table
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.dynamic import DynamicConsolidation
+
+__all__ = ["plan_dynamic_array"]
+
+#: Same admission slack as :class:`repro.placement.binpacking.Bin`.
+_SLACK = 1e-9
+
+
+class _HostArrays:
+    """Canonical per-host capacity/cost arrays, fixed for a whole plan."""
+
+    def __init__(self, algorithm: "DynamicConsolidation", context) -> None:
+        hosts = list(context.datacenter.hosts)
+        if not hosts:
+            raise PlacementError("no hosts to pack onto")
+        bound = context.config.utilization_bound
+        self.hosts = hosts
+        self.host_ids = [h.host_id for h in hosts]
+        self.n = len(hosts)
+        # Bin.for_host capacities (bound-scaled), as python floats.
+        self.cap_cpu = [h.cpu_rpe2 * bound for h in hosts]
+        self.cap_mem = [h.memory_gb * bound for h in hosts]
+        self.cap_net = [h.spec.network_mbps * bound for h in hosts]
+        self.cap_dsk = [h.spec.disk_mbps * bound for h in hosts]
+        # fits() compares against capacity + 1e-9; precomputing the sum
+        # reproduces the same float the reference derives per call.
+        self.eps_cpu = [c + _SLACK for c in self.cap_cpu]
+        self.eps_mem = [c + _SLACK for c in self.cap_mem]
+        self.eps_net = [c + _SLACK for c in self.cap_net]
+        self.eps_dsk = [c + _SLACK for c in self.cap_dsk]
+        self.cap_cpu_np = np.array(self.cap_cpu)
+        self.cap_mem_np = np.array(self.cap_mem)
+        self.eps_cpu_np = np.array(self.eps_cpu)
+        self.eps_mem_np = np.array(self.eps_mem)
+        self.eps_net_np = np.array(self.eps_net)
+        self.eps_dsk_np = np.array(self.eps_dsk)
+        self.idle_watts = [algorithm._idle_watts(h) for h in hosts]
+
+
+def plan_dynamic_array(
+    algorithm: "DynamicConsolidation", context: PlanningContext
+) -> PlacementSchedule:
+    """Vectorized twin of ``DynamicConsolidation.plan`` (no constraints)."""
+    points = context.points_per_interval
+    history_points = context.history.n_points
+    vm_ids = list(context.evaluation.vm_ids)
+    class_of = {
+        trace.vm_id: trace.vm.workload_class
+        for trace in context.evaluation
+    }
+    cpu_full = np.hstack(
+        [
+            context.history.cpu_rpe2_matrix(),
+            context.evaluation.cpu_rpe2_matrix(),
+        ]
+    )
+    memory_full = np.hstack(
+        [
+            context.history.memory_gb_matrix(),
+            context.evaluation.memory_gb_matrix(),
+        ]
+    )
+    estimator = SizeEstimator(
+        sizing=MaxSizing(),
+        overhead=context.config.overhead,
+        network=context.config.network,
+        disk=context.config.disk,
+    )
+    n_intervals = context.n_intervals
+    starts = [history_points + i * points for i in range(n_intervals)]
+    # Whole-plan peak tables: one kernel call instead of 2 × n_intervals
+    # per-interval predictions.  The burst premium is an elementwise
+    # scalar multiply — identical to scaling each column on its own.
+    cpu_table = algorithm.cpu_burst_factor * build_peak_table(
+        algorithm.predictor, cpu_full, points, starts
+    )
+    memory_table = build_peak_table(
+        algorithm.predictor, memory_full, points, starts
+    )
+    table = estimator.estimate_matrix(
+        vm_ids,
+        cpu_table,
+        memory_table,
+        [class_of.get(vm_id) for vm_id in vm_ids],
+    )
+
+    host_arrays = _HostArrays(algorithm, context)
+    n_vms = len(vm_ids)
+    # FFD tie-break: ascending vm_id among equal scores.
+    id_rank = np.empty(n_vms, dtype=np.intp)
+    id_rank[np.argsort(np.array(vm_ids))] = np.arange(n_vms)
+
+    placements: List[Placement] = []
+    prev_rows: Optional[List[int]] = None
+    prev_active: Optional[List[bool]] = None
+    bound = context.config.utilization_bound
+    for interval in range(n_intervals):
+        state = _pack_interval(
+            table, interval, host_arrays, id_rank,
+            prev_rows, prev_active, vm_ids, bound,
+        )
+        _vacate_intervals_hosts(algorithm, context, host_arrays, state)
+        assignment = {
+            vm_ids[row]: host_arrays.host_ids[state.assignment_rows[row]]
+            for row in state.order
+        }
+        placements.append(Placement(assignment=assignment))
+        prev_rows = state.assignment_rows
+        prev_active = [bool(rows) for rows in state.vm_rows_of_host]
+    return PlacementSchedule.periodic(
+        placements, context.config.interval_hours
+    )
+
+
+class _IntervalState:
+    """One interval's mutable packing state (bodies, rows, appearance)."""
+
+    __slots__ = (
+        "interval", "order", "assignment_rows", "vm_rows_of_host",
+        "body_cpu", "body_mem", "body_net", "body_dsk",
+        "appearance", "cpu", "mem", "net", "dsk", "vm_ids",
+    )
+
+
+def _pack_interval(
+    table,
+    interval: int,
+    host_arrays: _HostArrays,
+    id_rank: np.ndarray,
+    prev_rows: Optional[List[int]],
+    prev_active: Optional[List[bool]],
+    vm_ids: List[str],
+    utilization_bound: float,
+) -> _IntervalState:
+    """Sticky FFD pack of one interval column, delta from ``prev_rows``.
+
+    Replays ``pack(..., strategy="ffd", preferred=previous.assignment)``
+    exactly: per VM in FFD order, the previous host is tried first and
+    a warm-first host scan runs only for displaced VMs.
+    """
+    n_hosts = host_arrays.n
+    cpu_col = table.cpu_rpe2[:, interval]
+    mem_col = table.memory_gb[:, interval]
+
+    # Warm-first host order; the FFD reference host is its head.
+    if prev_active is None:
+        scan_hosts = list(range(n_hosts))
+    else:
+        scan_hosts = (
+            [h for h in range(n_hosts) if prev_active[h]]
+            + [h for h in range(n_hosts) if not prev_active[h]]
+        )
+    reference = host_arrays.hosts[scan_hosts[0]]
+    scores = np.maximum(
+        cpu_col / reference.cpu_rpe2, mem_col / reference.memory_gb
+    )
+    order = np.lexsort((id_rank, -scores)).tolist()
+
+    # Saturation skip (same optimization as the scalar engine): the
+    # smallest body demand still to come, per FFD position.
+    ordered_cpu = cpu_col[order]
+    ordered_mem = mem_col[order]
+    sufmin_cpu = np.minimum.accumulate(ordered_cpu[::-1])[::-1].tolist()
+    sufmin_mem = np.minimum.accumulate(ordered_mem[::-1])[::-1].tolist()
+
+    cpu = cpu_col.tolist()
+    mem = mem_col.tolist()
+    net = table.network_mbps[:, interval].tolist()
+    dsk = table.disk_mbps[:, interval].tolist()
+    eps_cpu = host_arrays.eps_cpu
+    eps_mem = host_arrays.eps_mem
+    eps_net = host_arrays.eps_net
+    eps_dsk = host_arrays.eps_dsk
+    cap_cpu = host_arrays.cap_cpu
+    cap_mem = host_arrays.cap_mem
+
+    body_cpu = [0.0] * n_hosts
+    body_mem = [0.0] * n_hosts
+    body_net = [0.0] * n_hosts
+    body_dsk = [0.0] * n_hosts
+    vm_rows_of_host: List[List[int]] = [[] for _ in range(n_hosts)]
+    assignment_rows = [-1] * len(vm_ids)
+    appearance: List[int] = []
+    dead = [False] * n_hosts
+
+    for position, row in enumerate(order):
+        d_cpu = cpu[row]
+        d_mem = mem[row]
+        d_net = net[row]
+        d_dsk = dsk[row]
+        target = -1
+        if prev_rows is not None:
+            hint = prev_rows[row]
+            if (
+                body_cpu[hint] + d_cpu <= eps_cpu[hint]
+                and body_mem[hint] + d_mem <= eps_mem[hint]
+                and body_net[hint] + d_net <= eps_net[hint]
+                and body_dsk[hint] + d_dsk <= eps_dsk[hint]
+            ):
+                target = hint
+        if target < 0:
+            min_cpu = sufmin_cpu[position]
+            min_mem = sufmin_mem[position]
+            for host in scan_hosts:
+                if dead[host]:
+                    continue
+                if (
+                    body_cpu[host] + d_cpu <= eps_cpu[host]
+                    and body_mem[host] + d_mem <= eps_mem[host]
+                    and body_net[host] + d_net <= eps_net[host]
+                    and body_dsk[host] + d_dsk <= eps_dsk[host]
+                ):
+                    target = host
+                    break
+                if (
+                    min_cpu > cap_cpu[host] - body_cpu[host] + _SLACK
+                    or min_mem > cap_mem[host] - body_mem[host] + _SLACK
+                ):
+                    dead[host] = True
+            if target < 0:
+                raise _no_fit_error(
+                    table.demand(row, interval), utilization_bound
+                )
+        rows_on_target = vm_rows_of_host[target]
+        if not rows_on_target:
+            appearance.append(target)
+        rows_on_target.append(row)
+        body_cpu[target] += d_cpu
+        body_mem[target] += d_mem
+        body_net[target] += d_net
+        body_dsk[target] += d_dsk
+        assignment_rows[row] = target
+
+    state = _IntervalState()
+    state.interval = interval
+    state.order = order
+    state.assignment_rows = assignment_rows
+    state.vm_rows_of_host = vm_rows_of_host
+    state.body_cpu = body_cpu
+    state.body_mem = body_mem
+    state.body_net = body_net
+    state.body_dsk = body_dsk
+    state.appearance = appearance
+    state.cpu = cpu
+    state.mem = mem
+    state.net = net
+    state.dsk = dsk
+    state.vm_ids = vm_ids
+    return state
+
+
+def _vacate_intervals_hosts(
+    algorithm: "DynamicConsolidation",
+    context: PlanningContext,
+    host_arrays: _HostArrays,
+    state: _IntervalState,
+) -> None:
+    """Array-backed twin of ``DynamicConsolidation._vacate_hosts``."""
+    n_hosts = host_arrays.n
+    body_cpu = state.body_cpu
+    body_mem = state.body_mem
+    vm_rows_of_host = state.vm_rows_of_host
+    bins_list = state.appearance
+    # numpy mirrors for vectorized source/candidate scoring; refreshed
+    # only on commits (scalar element writes), so they always equal the
+    # python-float ground truth exactly.
+    body_cpu_np = np.array(body_cpu)
+    body_mem_np = np.array(body_mem)
+    count_np = np.array(
+        [len(rows) for rows in vm_rows_of_host], dtype=np.intp
+    )
+    alive_np = np.zeros(n_hosts, dtype=bool)
+    apps = np.array(bins_list, dtype=np.intp)
+    alive_np[apps] = True
+    interval_hours = context.config.interval_hours
+
+    for _ in range(algorithm.max_vacate_sweeps):
+        changed = False
+        live = [h for h in bins_list if alive_np[h]]
+        n_bins = len(live)
+        live_arr = np.array(live, dtype=np.intp)
+        # Snapshot source order: (vm count, used cpu), appearance-stable.
+        source_order = np.lexsort(
+            (
+                np.arange(n_bins),
+                body_cpu_np[live_arr],
+                count_np[live_arr],
+            )
+        )
+        for source_pos in source_order:
+            source = live[int(source_pos)]
+            if not vm_rows_of_host[source] or n_bins <= 1:
+                continue
+            if _try_vacate_array(
+                algorithm, host_arrays, state, source,
+                apps, alive_np, count_np, body_cpu_np, body_mem_np,
+                interval_hours,
+            ):
+                changed = True
+        for host in live:
+            if not vm_rows_of_host[host]:
+                alive_np[host] = False
+        if not changed:
+            break
+
+
+def _try_vacate_array(
+    algorithm: "DynamicConsolidation",
+    host_arrays: _HostArrays,
+    state: _IntervalState,
+    source: int,
+    apps: np.ndarray,
+    alive_np: np.ndarray,
+    count_np: np.ndarray,
+    body_cpu_np: np.ndarray,
+    body_mem_np: np.ndarray,
+    interval_hours: float,
+) -> bool:
+    """Array-backed twin of ``_try_vacate`` for one source host.
+
+    Two outcome-identical shortcuts on the reference: the migration-cost
+    gate is evaluated *before* the target search (it depends only on the
+    source's VM set, and a failing attempt changes no state either way),
+    and the first — largest — VM's candidate scan runs as one vectorized
+    mask (its pending loads are all zero).  Everything else replays the
+    reference's scalar folds move by move.
+    """
+    cpu = state.cpu
+    mem = state.mem
+    net = state.net
+    dsk = state.dsk
+    move_rows = sorted(
+        state.vm_rows_of_host[source], key=cpu.__getitem__, reverse=True
+    )
+
+    if algorithm.consider_migration_cost:
+        cost_wh: float = 0
+        for cost in algorithm._cached_cost_many(
+            [mem[row] for row in move_rows]
+        ):
+            cost_wh = cost_wh + cost
+        benefit_wh = host_arrays.idle_watts[source] * interval_hours
+        if benefit_wh <= cost_wh:
+            return False
+
+    # Candidates: every other live, non-empty bin, appearance order.
+    mask = alive_np[apps] & (count_np[apps] > 0) & (apps != source)
+    candidates = apps[mask]
+    if candidates.size == 0:
+        return False
+
+    # Vectorized first-VM admission: pending loads are all zero for the
+    # first VM, so the mask below is exactly the reference's fit checks.
+    first = move_rows[0]
+    fit0 = (
+        (body_cpu_np[candidates] + cpu[first]
+         <= host_arrays.eps_cpu_np[candidates])
+        & (body_mem_np[candidates] + mem[first]
+           <= host_arrays.eps_mem_np[candidates])
+    )
+    if net[first] or dsk[first]:
+        body_net_np = np.array(state.body_net)
+        body_dsk_np = np.array(state.body_dsk)
+        fit0 &= (
+            body_net_np[candidates] + net[first]
+            <= host_arrays.eps_net_np[candidates]
+        ) & (
+            body_dsk_np[candidates] + dsk[first]
+            <= host_arrays.eps_dsk_np[candidates]
+        )
+    if not fit0.any():
+        return False
+
+    # Fullest-first candidate order: min normalized slack, stable on
+    # appearance — the reference's sorted(..., key=residual).
+    residual = np.minimum(
+        (host_arrays.cap_cpu_np[candidates] - body_cpu_np[candidates])
+        / host_arrays.cap_cpu_np[candidates],
+        (host_arrays.cap_mem_np[candidates] - body_mem_np[candidates])
+        / host_arrays.cap_mem_np[candidates],
+    )
+    cand_order = np.lexsort((np.arange(candidates.size), residual))
+    cand = candidates[cand_order].tolist()
+    fit0_ordered = fit0[cand_order]
+
+    body_cpu = state.body_cpu
+    body_mem = state.body_mem
+    body_net = state.body_net
+    body_dsk = state.body_dsk
+    eps_cpu = host_arrays.eps_cpu
+    eps_mem = host_arrays.eps_mem
+    eps_net = host_arrays.eps_net
+    eps_dsk = host_arrays.eps_dsk
+    # Pending loads per candidate host: exact left folds in move order,
+    # matching the reference's per-check recomputation.
+    pend_cpu: Dict[int, float] = {}
+    pend_mem: Dict[int, float] = {}
+    pend_net: Dict[int, float] = {}
+    pend_dsk: Dict[int, float] = {}
+
+    first_pick = int(np.argmax(fit0_ordered))
+    moves: List[tuple] = [(first, cand[first_pick])]
+    pend_cpu[cand[first_pick]] = cpu[first]
+    pend_mem[cand[first_pick]] = mem[first]
+    pend_net[cand[first_pick]] = net[first]
+    pend_dsk[cand[first_pick]] = dsk[first]
+
+    for row in move_rows[1:]:
+        d_cpu = cpu[row]
+        d_mem = mem[row]
+        d_net = net[row]
+        d_dsk = dsk[row]
+        target = -1
+        for host in cand:
+            # Body-only prefilter: pending loads are non-negative and
+            # the float fold is monotone, so failing without pending
+            # implies failing with it.  Most candidates fail here with
+            # one add + compare; the exact pending fold runs only on
+            # prefilter survivors.
+            if (
+                body_cpu[host] + d_cpu <= eps_cpu[host]
+                and body_mem[host] + d_mem <= eps_mem[host]
+                and body_net[host] + d_net <= eps_net[host]
+                and body_dsk[host] + d_dsk <= eps_dsk[host]
+            ):
+                if host not in pend_cpu:
+                    target = host
+                    break
+                if (
+                    body_cpu[host] + pend_cpu[host] + d_cpu
+                    <= eps_cpu[host]
+                    and body_mem[host] + pend_mem[host] + d_mem
+                    <= eps_mem[host]
+                    and body_net[host] + pend_net[host] + d_net
+                    <= eps_net[host]
+                    and body_dsk[host] + pend_dsk[host] + d_dsk
+                    <= eps_dsk[host]
+                ):
+                    target = host
+                    break
+        if target < 0:
+            return False
+        moves.append((row, target))
+        pend_cpu[target] = pend_cpu.get(target, 0.0) + d_cpu
+        pend_mem[target] = pend_mem.get(target, 0.0) + d_mem
+        pend_net[target] = pend_net.get(target, 0.0) + d_net
+        pend_dsk[target] = pend_dsk.get(target, 0.0) + d_dsk
+
+    # Commit: sequential per-move adds with the reference's re-check
+    # (Bin.add validates against the *committed* state, whose folds can
+    # differ from body + pending in the last ulp).
+    vm_rows_of_host = state.vm_rows_of_host
+    assignment_rows = state.assignment_rows
+    for row, target in moves:
+        d_cpu = cpu[row]
+        d_mem = mem[row]
+        d_net = net[row]
+        d_dsk = dsk[row]
+        if not (
+            body_cpu[target] + d_cpu <= eps_cpu[target]
+            and body_mem[target] + d_mem <= eps_mem[target]
+            and body_net[target] + d_net <= eps_net[target]
+            and body_dsk[target] + d_dsk <= eps_dsk[target]
+        ):
+            raise PlacementError(
+                f"{state.vm_ids[row]} does not fit on "
+                f"{host_arrays.host_ids[target]}"
+            )
+        body_cpu[target] += d_cpu
+        body_mem[target] += d_mem
+        body_net[target] += d_net
+        body_dsk[target] += d_dsk
+        vm_rows_of_host[target].append(row)
+        assignment_rows[row] = target
+        body_cpu_np[target] = body_cpu[target]
+        body_mem_np[target] = body_mem[target]
+        count_np[target] += 1
+    body_cpu[source] = 0.0
+    body_mem[source] = 0.0
+    body_net[source] = 0.0
+    body_dsk[source] = 0.0
+    vm_rows_of_host[source] = []
+    body_cpu_np[source] = 0.0
+    body_mem_np[source] = 0.0
+    count_np[source] = 0
+    return True

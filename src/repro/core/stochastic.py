@@ -26,11 +26,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional
 
+import numpy as np
+
 from repro.analysis.correlation import PeakClusters, cluster_by_peaks
 from repro.constraints.manager import ConstraintSet
 from repro.core.base import ConsolidationAlgorithm, PlanningContext
 from repro.emulator.schedule import PlacementSchedule
-from repro.exceptions import PlacementError
+from repro.exceptions import ConfigurationError, PlacementError
 from repro.infrastructure.datacenter import Datacenter
 from repro.infrastructure.server import PhysicalServer
 from repro.infrastructure.vm import VMDemand
@@ -40,6 +42,44 @@ from repro.sizing.estimator import SizeEstimator
 from repro.sizing.functions import BodyTailSizing
 
 __all__ = ["StochasticConsolidation"]
+
+
+def _pooled_with(
+    tails: Dict[int, float], cluster: int, extra: float, overlap: float
+) -> float:
+    """``_ClusterBin._pooled`` of ``tails`` with ``extra`` added to one
+    cluster — without materializing the updated dict.
+
+    Replays the reference's folds exactly: the updated cluster keeps its
+    dict position (a new cluster appends), ``sum`` left-folds the values
+    in that insertion order from integer ``0``, and ``max`` keeps the
+    first maximum.  One pass instead of two dict copies per fit check.
+    """
+    worst: Optional[float] = None
+    total: float = 0
+    seen = False
+    for key, value in tails.items():
+        if key == cluster:
+            value = value + extra
+            seen = True
+        total = total + value
+        if worst is None or value > worst:
+            worst = value
+    if not seen:
+        value = 0.0 + extra
+        total = total + value
+        if worst is None or value > worst:
+            worst = value
+    rest = total - worst
+    return worst + overlap * rest
+
+
+def _stochastic_no_fit(demand: VMDemand) -> PlacementError:
+    return PlacementError(
+        f"VM {demand.vm_id} fits on no host "
+        f"(body cpu={demand.cpu_rpe2:.0f}, "
+        f"tail cpu={demand.tail_cpu_rpe2:.0f})"
+    )
 
 
 class _ClusterBin:
@@ -148,6 +188,12 @@ class StochasticConsolidation(ConsolidationAlgorithm):
     #: :class:`_ClusterBin`); 0 = fully trust the clustering.
     tail_overlap_factor: float = 0.55
     utilization_bound: float = 1.0
+    #: ``"array"`` prefilters candidates with vectorized pooled-tail
+    #: lower bounds (exact single-pass verification on the survivors);
+    #: ``"scalar"`` is the retained per-bin reference; ``"auto"`` picks
+    #: the array path when no constraints are set.  Identical
+    #: placements either way.
+    engine: str = "auto"
 
     def plan(self, context: PlanningContext) -> PlacementSchedule:
         estimator = SizeEstimator(
@@ -182,15 +228,20 @@ class StochasticConsolidation(ConsolidationAlgorithm):
         hosts = datacenter.hosts
         if not hosts:
             raise PlacementError("no hosts to pack onto")
-        bins = [
-            _ClusterBin(host, self.utilization_bound, self.tail_overlap_factor)
-            for host in hosts
-        ]
+        if self.engine not in ("auto", "array", "scalar"):
+            raise ConfigurationError(
+                f"unknown engine {self.engine!r}; expected 'auto', "
+                "'array' or 'scalar'"
+            )
+        if self.engine == "array" and constraints:
+            raise ConfigurationError(
+                "engine='array' does not support deployment constraints; "
+                "use engine='scalar'"
+            )
         cluster_of = {
             vm_id: cluster
             for vm_id, cluster in zip(clusters.vm_ids, clusters.cluster_of)
         }
-        assignment: Dict[str, str] = {}
         ordered = sort_decreasing(demands, hosts[0])
         if constraints:
             # Constrained VMs claim their feasible hosts first (see
@@ -199,22 +250,148 @@ class StochasticConsolidation(ConsolidationAlgorithm):
                 ordered,
                 key=lambda d: not constraints.constraints_for(d.vm_id),
             )
+        if self.engine == "array" or (
+            self.engine == "auto" and not constraints
+        ):
+            assignment = self._pack_array(ordered, cluster_of, hosts)
+        else:
+            assignment = self._pack_scalar(
+                ordered, cluster_of, hosts, constraints, datacenter
+            )
+        if constraints:
+            constraints.validate(assignment, datacenter)
+        return Placement(assignment=assignment)
+
+    def _pack_scalar(
+        self,
+        ordered: List[VMDemand],
+        cluster_of: Mapping[str, int],
+        hosts,
+        constraints: ConstraintSet,
+        datacenter: Datacenter,
+    ) -> Dict[str, str]:
+        """Reference engine: one ``_ClusterBin.fits`` per candidate."""
+        bins = [
+            _ClusterBin(host, self.utilization_bound, self.tail_overlap_factor)
+            for host in hosts
+        ]
+        assignment: Dict[str, str] = {}
         for demand in ordered:
             cluster = cluster_of[demand.vm_id]
             target = self._first_fit(
                 demand, cluster, bins, assignment, constraints, datacenter
             )
             if target is None:
-                raise PlacementError(
-                    f"VM {demand.vm_id} fits on no host "
-                    f"(body cpu={demand.cpu_rpe2:.0f}, "
-                    f"tail cpu={demand.tail_cpu_rpe2:.0f})"
-                )
+                raise _stochastic_no_fit(demand)
             target.add(demand, cluster)
             assignment[demand.vm_id] = target.host.host_id
-        if constraints:
-            constraints.validate(assignment, datacenter)
-        return Placement(assignment=assignment)
+        return assignment
+
+    def _pack_array(
+        self,
+        ordered: List[VMDemand],
+        cluster_of: Mapping[str, int],
+        hosts,
+    ) -> Dict[str, str]:
+        """Vectorized engine (constraint-free path).
+
+        Per VM, a lower bound on every host's post-add reservation is
+        computed in a few array ops: pooled tails are at least
+        ``max(current worst cluster, updated cluster)`` because the
+        overlap term is non-negative and the float fold is monotone.
+        Hosts failing the bound (plus the exact network/disk checks)
+        can never admit the VM; survivors are verified in host order
+        with the exact single-pass :func:`_pooled_with` fold, so the
+        first verified host is exactly the reference's first fit.
+        """
+        overlap = self.tail_overlap_factor
+        bound = self.utilization_bound
+        n_hosts = len(hosts)
+        n_clusters = (
+            max(cluster_of.values(), default=0) + 1 if cluster_of else 1
+        )
+        cap_cpu = np.array([h.cpu_rpe2 * bound for h in hosts])
+        cap_mem = np.array([h.memory_gb * bound for h in hosts])
+        eps_cpu = cap_cpu + 1e-9
+        eps_mem = cap_mem + 1e-9
+        eps_net = np.array(
+            [h.spec.network_mbps * bound for h in hosts]
+        ) + 1e-9
+        eps_dsk = np.array([h.spec.disk_mbps * bound for h in hosts]) + 1e-9
+        eps_cpu_l = eps_cpu.tolist()
+        eps_mem_l = eps_mem.tolist()
+        body_cpu = np.zeros(n_hosts)
+        body_mem = np.zeros(n_hosts)
+        body_net = np.zeros(n_hosts)
+        body_dsk = np.zeros(n_hosts)
+        # Per-(cluster, host) tail mass for the vectorized bound; the
+        # dicts below keep the reference's insertion-order folds for
+        # exact verification.
+        tail_cpu = np.zeros((n_clusters, n_hosts))
+        tail_mem = np.zeros((n_clusters, n_hosts))
+        worst_cpu = np.zeros(n_hosts)
+        worst_mem = np.zeros(n_hosts)
+        tails_cpu: List[Dict[int, float]] = [{} for _ in range(n_hosts)]
+        tails_mem: List[Dict[int, float]] = [{} for _ in range(n_hosts)]
+        body_cpu_l = [0.0] * n_hosts
+        body_mem_l = [0.0] * n_hosts
+
+        assignment: Dict[str, str] = {}
+        for demand in ordered:
+            cluster = cluster_of[demand.vm_id]
+            d_cpu = demand.cpu_rpe2
+            d_mem = demand.memory_gb
+            d_tcpu = demand.tail_cpu_rpe2
+            d_tmem = demand.tail_memory_gb
+            candidate_mask = (
+                (
+                    body_cpu + d_cpu
+                    + np.maximum(worst_cpu, tail_cpu[cluster] + d_tcpu)
+                    <= eps_cpu
+                )
+                & (
+                    body_mem + d_mem
+                    + np.maximum(worst_mem, tail_mem[cluster] + d_tmem)
+                    <= eps_mem
+                )
+                & (body_net + demand.network_mbps <= eps_net)
+                & (body_dsk + demand.disk_mbps <= eps_dsk)
+            )
+            target = -1
+            for index in np.flatnonzero(candidate_mask):
+                index = int(index)
+                pooled_cpu = _pooled_with(
+                    tails_cpu[index], cluster, d_tcpu, overlap
+                )
+                if body_cpu_l[index] + d_cpu + pooled_cpu > eps_cpu_l[index]:
+                    continue
+                pooled_mem = _pooled_with(
+                    tails_mem[index], cluster, d_tmem, overlap
+                )
+                if body_mem_l[index] + d_mem + pooled_mem > eps_mem_l[index]:
+                    continue
+                target = index
+                break
+            if target < 0:
+                raise _stochastic_no_fit(demand)
+            body_cpu_l[target] = body_cpu_l[target] + d_cpu
+            body_mem_l[target] = body_mem_l[target] + d_mem
+            body_cpu[target] = body_cpu_l[target]
+            body_mem[target] = body_mem_l[target]
+            body_net[target] += demand.network_mbps
+            body_dsk[target] += demand.disk_mbps
+            new_tcpu = tails_cpu[target].get(cluster, 0.0) + d_tcpu
+            new_tmem = tails_mem[target].get(cluster, 0.0) + d_tmem
+            tails_cpu[target][cluster] = new_tcpu
+            tails_mem[target][cluster] = new_tmem
+            tail_cpu[cluster, target] = new_tcpu
+            tail_mem[cluster, target] = new_tmem
+            if new_tcpu > worst_cpu[target]:
+                worst_cpu[target] = new_tcpu
+            if new_tmem > worst_mem[target]:
+                worst_mem[target] = new_tmem
+            assignment[demand.vm_id] = hosts[target].host_id
+        return assignment
 
     def _first_fit(
         self,

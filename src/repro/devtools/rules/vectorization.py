@@ -3,8 +3,11 @@
 The emulator replay and bin-packing hot paths went columnar (PR:
 vectorized demand kernels): demand matrices come from the cached
 :class:`~repro.workloads.store.TraceStore` and per-segment accumulation
-is a scatter-add, not a per-VM Python loop.  This rule guards that
-floor inside :mod:`repro.emulator` and :mod:`repro.placement`:
+is a scatter-add, not a per-VM Python loop.  With the planning layer
+vectorized too (batched prediction/sizing tables, array-backed repack
+and vacate sweeps), this rule guards that floor inside
+:mod:`repro.emulator`, :mod:`repro.placement`, :mod:`repro.core`, and
+:mod:`repro.sizing`:
 
 * no ``np.vstack`` / ``numpy.vstack`` calls — stacking per-trace arrays
   rebuilds the matrix the store already caches, one allocation per call;
@@ -13,9 +16,10 @@ floor inside :mod:`repro.emulator` and :mod:`repro.placement`:
   is exactly the O(n_servers) interpreter overhead the columnar kernels
   removed.
 
-The retained scalar reference (``emulator/reference.py``) opts out with
-a file-level ``# repro-lint: disable-file=REPRO109`` pragma: that module
-exists to *be* the loop the kernels are checked against.
+Retained scalar references (``emulator/reference.py``, the scalar
+planner paths kept as equivalence-suite baselines) opt out with
+``# repro-lint: disable-file=REPRO109`` / per-line ``disable=`` pragmas:
+those loops exist to *be* what the kernels are checked against.
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ from repro.devtools.registry import Rule, register
 
 __all__ = ["VectorizedKernelRule"]
 
-_SCOPED_PACKAGES = ("emulator", "placement")
+_SCOPED_PACKAGES = ("emulator", "placement", "core", "sizing")
 _TRACE_COLLECTION_NAMES = frozenset({"traces", "trace_set", "_traces"})
 
 
@@ -60,9 +64,9 @@ class VectorizedKernelRule(Rule):
     rule_id = "REPRO109"
     name = "vectorize-kernels"
     rationale = (
-        "emulator and placement hot paths are columnar: per-trace Python "
-        "loops and np.vstack reassembly undo the scatter-add/TraceStore "
-        "kernels"
+        "emulator, placement, core, and sizing hot paths are columnar: "
+        "per-trace Python loops and np.vstack reassembly undo the "
+        "scatter-add/TraceStore kernels"
     )
 
     def check(self, module: Module, project: Project) -> Iterator[Finding]:

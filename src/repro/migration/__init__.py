@@ -5,6 +5,7 @@ from repro.migration.precopy import (
     MigrationOutcome,
     PreCopyConfig,
     simulate_migration,
+    simulate_migrations,
 )
 from repro.migration.reliability import (
     ReliabilityPoint,
@@ -32,4 +33,5 @@ __all__ = [
     "recommended_reservation",
     "reliability_sweep",
     "simulate_migration",
+    "simulate_migrations",
 ]

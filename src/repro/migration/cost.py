@@ -18,9 +18,14 @@ per-GB price expressed in the same unit as interval power savings
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Sequence
 
 from repro.exceptions import ConfigurationError
-from repro.migration.precopy import PreCopyConfig, simulate_migration
+from repro.migration.precopy import (
+    PreCopyConfig,
+    simulate_migration,
+    simulate_migrations,
+)
 
 __all__ = ["MigrationCostModel"]
 
@@ -66,3 +71,24 @@ class MigrationCostModel:
         energy_wh = self.migration_power_watts * duration_s / 3600.0
         sla_wh = self.sla_cost_per_second * duration_s
         return energy_wh + sla_wh
+
+    def costs_wh(self, vm_memory_gb: Sequence[float]) -> List[float]:
+        """Batched :meth:`cost_wh` — one pre-copy simulation sweep.
+
+        All migrations run through :func:`simulate_migrations` in lock
+        step, so each returned cost is bit-identical to the scalar call.
+        """
+        if not vm_memory_gb:
+            return []
+        outcomes = simulate_migrations(
+            [max(m, 1e-3) for m in vm_memory_gb],
+            [self.assumed_dirty_rate_mb_s] * len(vm_memory_gb),
+            host_cpu_util=0.7,
+            host_memory_util=0.7,
+            config=self.precopy,
+        )
+        return [
+            self.migration_power_watts * o.duration_s / 3600.0
+            + self.sla_cost_per_second * o.duration_s
+            for o in outcomes
+        ]

@@ -22,7 +22,7 @@ import numpy as np
 from repro.exceptions import ConfigurationError
 from repro.migration.precopy import (
     PreCopyConfig,
-    simulate_migration,
+    simulate_migrations,
 )
 
 __all__ = [
@@ -81,23 +81,33 @@ def reliability_sweep(
                 f"utilization must be in [0, 1], got {utilization}"
             )
         memory_util = utilization if memory_tracks_cpu else 0.5
-        outcomes = []
+        # RNG draws stay interleaved per migration (memory, then dirty
+        # rate) so the stream matches the historical per-call loop; only
+        # the simulation itself is batched.
+        memories = []
+        dirty_rates = []
         for _ in range(n_migrations):
-            vm_memory_gb = float(
-                np.clip(rng.lognormal(mean=np.log(2.0), sigma=0.6), 0.25, 16.0)
-            )
-            dirty_rate = float(
-                np.clip(rng.lognormal(mean=np.log(20.0), sigma=0.7), 1.0, 90.0)
-            )
-            outcomes.append(
-                simulate_migration(
-                    vm_memory_gb,
-                    dirty_rate,
-                    host_cpu_util=utilization,
-                    host_memory_util=memory_util,
-                    config=config,
+            memories.append(
+                float(
+                    np.clip(
+                        rng.lognormal(mean=np.log(2.0), sigma=0.6), 0.25, 16.0
+                    )
                 )
             )
+            dirty_rates.append(
+                float(
+                    np.clip(
+                        rng.lognormal(mean=np.log(20.0), sigma=0.7), 1.0, 90.0
+                    )
+                )
+            )
+        outcomes = simulate_migrations(
+            memories,
+            dirty_rates,
+            host_cpu_util=utilization,
+            host_memory_util=memory_util,
+            config=config,
+        )
         durations = np.array([o.duration_s for o in outcomes])
         points.append(
             ReliabilityPoint(

@@ -18,9 +18,11 @@ Three pieces:
 * :func:`pack` — FFD/BFD over a host list with constraint support,
   a preferred-host map (dynamic consolidation seeds it with the previous
   interval's assignment to avoid gratuitous migrations), and strict
-  error reporting when a VM fits nowhere.  ``engine="array"`` (default)
-  routes through :class:`BinArray`; ``engine="scalar"`` keeps the
-  reference bin-at-a-time scan.  Both produce identical placements.
+  error reporting when a VM fits nowhere.  ``engine="auto"`` (default)
+  routes through :class:`BinArray` when the host count clears the
+  strategy's crossover (:data:`_AUTO_MIN_HOSTS`) and through the
+  reference bin-at-a-time scan below it; ``engine="array"`` /
+  ``engine="scalar"`` force a side.  All produce identical placements.
 """
 
 from __future__ import annotations
@@ -39,6 +41,13 @@ from repro.placement.arraybins import BinArray
 from repro.placement.plan import Placement
 
 __all__ = ["Bin", "pack", "sort_decreasing"]
+
+#: ``engine="auto"`` host-count crossovers, measured on the kernel
+#: benchmark: below these sizes numpy's fixed per-call overhead makes
+#: the vector masks slower than the scalar scan (bfd was 0.4x at 100
+#: hosts).  BFD crosses later because its scalar residual scan touches
+#: fewer bins per VM than FFD's first-fit probe.
+_AUTO_MIN_HOSTS = {"ffd": 64, "bfd": 512}
 
 
 @dataclass
@@ -167,7 +176,7 @@ def pack(
     constraints: Optional[ConstraintSet] = None,
     datacenter: Optional[Datacenter] = None,
     preferred: Optional[Mapping[str, str]] = None,
-    engine: str = "array",
+    engine: str = "auto",
 ) -> Placement:
     """Pack VM demands onto hosts; returns a validated placement.
 
@@ -190,9 +199,15 @@ def pack(
         Optional VM → host_id hints tried before any other host; used by
         dynamic consolidation to keep VMs where they already run.
     engine:
-        ``"array"`` (default) evaluates admissibility as vector masks
-        over all bins via :class:`BinArray`; ``"scalar"`` is the
-        reference bin-at-a-time scan.  Identical placements either way.
+        ``"array"`` evaluates admissibility as vector masks over all
+        bins via :class:`BinArray`; ``"scalar"`` is the reference
+        bin-at-a-time scan.  ``"auto"`` (default) picks per problem
+        size: vector masks only pay off once the bin scan is long enough
+        to beat numpy's per-call overhead, so auto uses the array engine
+        from :data:`_AUTO_MIN_HOSTS` hosts upward (64 for ffd, 512 for
+        bfd — bfd's scalar scan exits early on the residual heap less
+        often, shifting its crossover) and the scalar engine below.
+        Identical placements either way.
 
     Raises
     ------
@@ -206,12 +221,17 @@ def pack(
         raise ConfigurationError(
             f"unknown strategy {strategy!r}; expected 'ffd' or 'bfd'"
         )
-    if engine not in ("array", "scalar"):
+    if engine not in ("auto", "array", "scalar"):
         raise ConfigurationError(
-            f"unknown engine {engine!r}; expected 'array' or 'scalar'"
+            f"unknown engine {engine!r}; expected 'auto', 'array' or "
+            "'scalar'"
         )
     if not hosts:
         raise PlacementError("no hosts to pack onto")
+    if engine == "auto":
+        engine = (
+            "array" if len(hosts) >= _AUTO_MIN_HOSTS[strategy] else "scalar"
+        )
     if constraints and datacenter is None:
         raise ConfigurationError(
             "constraints require a datacenter for topology lookups"

@@ -17,12 +17,20 @@ to now, predict the peak demand of the next ``horizon`` samples.
   time-of-day in the last few days plus a safety margin; tracks diurnal
   patterns well, misses heavy-tail spikes — exactly the error profile
   enterprise capacity tools exhibit.
+
+Every predictor also offers ``predict_peak_matrix`` — the same
+prediction for all VM rows of a ``(n_vms, n_points)`` history at once —
+and the module-level :func:`build_peak_table` assembles the full
+``(n_vms, n_intervals)`` peak table a dynamic plan needs in a handful
+of array ops (stride-tricks window maxima, incremental EWMA folds).
+Bit-identical results are the contract: each kernel evaluates exactly
+the scalar expressions, row-broadcast.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Protocol, runtime_checkable
+from typing import Optional, Protocol, Sequence, runtime_checkable
 
 import numpy as np
 
@@ -34,6 +42,7 @@ __all__ = [
     "LastIntervalPredictor",
     "EwmaPredictor",
     "PeriodicPeakPredictor",
+    "build_peak_table",
 ]
 
 
@@ -42,6 +51,82 @@ def _check_history(history: np.ndarray) -> np.ndarray:
     if history.ndim != 1 or history.size == 0:
         raise TraceError("predictor needs a non-empty 1-D history")
     return history
+
+
+def _check_history_matrix(history: np.ndarray) -> np.ndarray:
+    history = np.asarray(history, dtype=float)
+    if history.ndim != 2 or history.shape[1] == 0:
+        raise TraceError("predict_peak_matrix expects (n, t>0) history")
+    return history
+
+
+def _check_horizon(horizon: int) -> None:
+    if horizon <= 0:
+        raise ConfigurationError(f"horizon must be > 0, got {horizon}")
+
+
+def _check_starts(
+    starts: Sequence[int], horizon: int, n_points: int, *, need_future: bool
+) -> Sequence[int]:
+    starts = [int(s) for s in starts]
+    for start in starts:
+        if start < 1:
+            raise TraceError("predictor needs a non-empty 1-D history")
+        if need_future and start + horizon > n_points:
+            raise TraceError(
+                f"actual future has {max(n_points - start, 0)} samples, "
+                f"need {horizon}"
+            )
+        if start > n_points:
+            raise TraceError(
+                f"table start {start} beyond the {n_points}-point series"
+            )
+    return starts
+
+
+def build_peak_table(
+    predictor: "Predictor",
+    full: np.ndarray,
+    horizon: int,
+    starts: Sequence[int],
+) -> np.ndarray:
+    """Peak predictions for every VM row at every interval start.
+
+    ``full`` is the whole ``(n_vms, n_points)`` demand series (history
+    and evaluation concatenated); column ``j`` of the result equals
+    ``predictor.predict_peak(full[row, :starts[j]], horizon,
+    full[row, starts[j]:starts[j] + horizon])`` for every row.  Uses the
+    predictor's own ``predict_peak_table`` kernel when it has one, then
+    ``predict_peak_matrix`` per interval, then the scalar protocol —
+    all three produce bit-identical tables.
+    """
+    full = _check_history_matrix(full)
+    _check_horizon(horizon)
+    table_path = getattr(predictor, "predict_peak_table", None)
+    if table_path is not None:
+        return table_path(full, horizon, starts)
+    starts = _check_starts(
+        starts, horizon, full.shape[1], need_future=False
+    )
+    matrix_path = getattr(predictor, "predict_peak_matrix", None)
+    columns = []
+    for now in starts:
+        history = full[:, :now]
+        future = full[:, now:now + horizon]
+        if matrix_path is not None:
+            columns.append(matrix_path(history, horizon, future))
+        else:
+            columns.append(
+                np.array(
+                    [
+                        predictor.predict_peak(
+                            history[row], horizon, future[row]
+                        )
+                        for row in range(full.shape[0])
+                    ]
+                )
+            )
+    return np.stack(columns, axis=1)
 
 
 @runtime_checkable
@@ -88,6 +173,54 @@ class OraclePredictor:
             )
         return float(future[:horizon].max())
 
+    def predict_peak_matrix(
+        self,
+        history: np.ndarray,
+        horizon: int,
+        actual_future: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Row-wise :meth:`predict_peak` for a ``(n, t)`` history."""
+        _check_history_matrix(history)
+        _check_horizon(horizon)
+        if actual_future is None:
+            raise ConfigurationError(
+                "OraclePredictor needs the actual future demand"
+            )
+        future = np.asarray(actual_future, dtype=float)
+        if future.ndim != 2 or future.shape[1] < horizon:
+            raise TraceError(
+                f"actual future has {future.shape[-1]} samples, "
+                f"need {horizon}"
+            )
+        return future[:, :horizon].max(axis=1)
+
+    def predict_peak_table(
+        self,
+        full: np.ndarray,
+        horizon: int,
+        starts: Sequence[int],
+    ) -> np.ndarray:
+        """All interval predictions at once: a sliding-window max gather.
+
+        ``sliding_window_view`` exposes every length-``horizon`` window
+        of the series as a stride-tricks view; the per-interval future
+        peaks are one ``max`` reduction plus a column gather.
+        """
+        full = _check_history_matrix(full)
+        _check_horizon(horizon)
+        starts = _check_starts(
+            starts, horizon, full.shape[1], need_future=True
+        )
+        if full.shape[1] < horizon:
+            raise TraceError(
+                f"actual future has 0 samples, need {horizon}"
+            )
+        windows = np.lib.stride_tricks.sliding_window_view(
+            full, horizon, axis=1
+        )
+        window_max = windows.max(axis=2)
+        return window_max[:, np.asarray(starts, dtype=np.intp)]
+
 
 @dataclass(frozen=True)
 class LastIntervalPredictor:
@@ -103,6 +236,52 @@ class LastIntervalPredictor:
         if horizon <= 0:
             raise ConfigurationError(f"horizon must be > 0, got {horizon}")
         return float(history[-min(horizon, history.size):].max())
+
+    def predict_peak_matrix(
+        self,
+        history: np.ndarray,
+        horizon: int,
+        actual_future: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Row-wise :meth:`predict_peak` for a ``(n, t)`` history."""
+        history = _check_history_matrix(history)
+        _check_horizon(horizon)
+        n = history.shape[1]
+        return history[:, -min(horizon, n):].max(axis=1)
+
+    def predict_peak_table(
+        self,
+        full: np.ndarray,
+        horizon: int,
+        starts: Sequence[int],
+    ) -> np.ndarray:
+        """All interval predictions at once via sliding-window maxima.
+
+        The prediction at ``now`` is the max of the window *ending* at
+        ``now``; for ``now >= horizon`` that is one gather from the
+        stride-tricks window-max table, with the short-history prefix
+        handled per column.
+        """
+        full = _check_history_matrix(full)
+        _check_horizon(horizon)
+        starts = _check_starts(
+            starts, horizon, full.shape[1], need_future=False
+        )
+        table = np.empty((full.shape[0], len(starts)))
+        window_max = None
+        if full.shape[1] >= horizon and any(s >= horizon for s in starts):
+            windows = np.lib.stride_tricks.sliding_window_view(
+                full, horizon, axis=1
+            )
+            window_max = windows.max(axis=2)
+        for j, now in enumerate(starts):
+            if now >= horizon and window_max is not None:
+                table[:, j] = window_max[:, now - horizon]
+            else:
+                table[:, j] = full[:, :now][:, -min(horizon, now):].max(
+                    axis=1
+                )
+        return table
 
 
 @dataclass(frozen=True)
@@ -140,6 +319,92 @@ class EwmaPredictor:
         for peak in peaks[1:]:
             estimate = self.alpha * peak + (1 - self.alpha) * estimate
         return float(estimate)
+
+    def predict_peak_matrix(
+        self,
+        history: np.ndarray,
+        horizon: int,
+        actual_future: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Row-wise :meth:`predict_peak` for a ``(n, t)`` history.
+
+        One block-peak reduction plus a fold over block columns — the
+        fold runs over *intervals*, not VMs, so its cost is independent
+        of fleet size.  Each step evaluates exactly the scalar EWMA
+        expression, broadcast.
+        """
+        history = _check_history_matrix(history)
+        _check_horizon(horizon)
+        n = history.shape[1]
+        usable = (n // horizon) * horizon
+        if usable == 0:
+            return history.max(axis=1)
+        peaks = history[:, n - usable:].reshape(
+            history.shape[0], -1, horizon
+        ).max(axis=2)
+        estimate = peaks[:, 0]
+        for block in range(1, peaks.shape[1]):
+            estimate = (
+                self.alpha * peaks[:, block] + (1 - self.alpha) * estimate
+            )
+        return estimate
+
+    def predict_peak_table(
+        self,
+        full: np.ndarray,
+        horizon: int,
+        starts: Sequence[int],
+    ) -> np.ndarray:
+        """All interval predictions at once via an incremental fold.
+
+        Consecutive interval starts share the same block phase, so each
+        interval's EWMA extends the previous one by the newly completed
+        blocks: the whole table costs one block-peak reduction plus one
+        vectorized fold step per new block, instead of refolding the
+        entire history 360 times.
+        """
+        full = _check_history_matrix(full)
+        _check_horizon(horizon)
+        starts = _check_starts(
+            starts, horizon, full.shape[1], need_future=False
+        )
+        phase = starts[0] % horizon
+        incremental = all(
+            s % horizon == phase for s in starts
+        ) and all(a <= b for a, b in zip(starts, starts[1:]))
+        if not incremental:
+            return np.stack(
+                [
+                    self.predict_peak_matrix(full[:, :now], horizon)
+                    for now in starts
+                ],
+                axis=1,
+            )
+        n_blocks = max(s // horizon for s in starts)
+        peaks = None
+        if n_blocks:
+            peaks = full[:, phase:phase + n_blocks * horizon].reshape(
+                full.shape[0], n_blocks, horizon
+            ).max(axis=2)
+        table = np.empty((full.shape[0], len(starts)))
+        estimate = None
+        folded = 0
+        for j, now in enumerate(starts):
+            blocks = now // horizon
+            if blocks == 0:
+                table[:, j] = full[:, :now].max(axis=1)
+                continue
+            if estimate is None:
+                estimate = peaks[:, 0]
+                folded = 1
+            while folded < blocks:
+                estimate = (
+                    self.alpha * peaks[:, folded]
+                    + (1 - self.alpha) * estimate
+                )
+                folded += 1
+            table[:, j] = estimate
+        return table
 
 
 @dataclass(frozen=True)

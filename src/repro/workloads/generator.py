@@ -517,12 +517,17 @@ def _event_multiplier(
         hit_any = True
         # The server's own severity varies around the event magnitude.
         severity = magnitude * float(rng.uniform(0.5, 1.5))
-        for offset in range(duration):
-            t = start + offset
-            if t >= n_hours:
-                break
-            decay = 1.0 - offset / duration
-            multiplier[t] = max(multiplier[t], 1.0 + severity * decay)
+        # The whole ramp at once: within one event the hit timestamps are
+        # distinct, so an elementwise maximum over the slice reproduces
+        # the per-offset max writes exactly.
+        count = min(duration, n_hours - start)
+        if count <= 0:
+            continue
+        decay = 1.0 - np.arange(count) / duration
+        window = slice(start, start + count)
+        np.maximum(
+            multiplier[window], 1.0 + severity * decay, out=multiplier[window]
+        )
     return multiplier if hit_any else None
 
 

@@ -1,0 +1,153 @@
+"""Array stochastic (PCP) engine == scalar reference, bit for bit.
+
+The array engine prefilters candidate hosts with vectorized pooled-tail
+lower bounds and verifies survivors with a single-pass pooled sum; it
+must make exactly the decisions of the retained per-bin scan — same
+assignment or the same no-fit failure — across overlap factors, I/O
+models, and workload textures.  The greedy peak clustering both engines
+share has the same contract between its matrix and scalar scans.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.correlation import cluster_by_peaks
+from repro.constraints.affinity import AntiColocate
+from repro.constraints.manager import ConstraintSet
+from repro.core.base import PlanningConfig, PlanningContext
+from repro.core.stochastic import StochasticConsolidation
+from repro.exceptions import ConfigurationError, TraceError
+from repro.sizing.network import DiskDemandModel, NetworkDemandModel
+from repro.workloads.trace import TraceSet
+from tests.conftest import make_server_trace
+
+
+def _context(small_pool, *, n_vms=16, days=3, config=None, seed=9):
+    """Servers with clustered peak phases: PCP's intended input."""
+    rng = np.random.default_rng(seed)
+    hours = days * 24
+    history = TraceSet(name="h")
+    evaluation = TraceSet(name="e")
+    for i in range(n_vms):
+        util = np.full(hours, 0.06) + rng.uniform(0.0, 0.04, hours)
+        phase = (i % 3) * 8
+        for day in range(days):
+            start = day * 24 + phase
+            util[start:start + 6] += rng.uniform(0.25, 0.55)
+        memory = np.full(hours, 0.8 + 0.05 * i) + rng.uniform(0, 0.3, hours)
+        for ts in (history, evaluation):
+            ts.add(
+                make_server_trace(
+                    f"vm{i}", np.clip(util, 0, 1), memory, cpu_rpe2=4000.0
+                )
+            )
+    return PlanningContext(
+        history=history,
+        evaluation=evaluation,
+        datacenter=small_pool,
+        config=config or PlanningConfig(),
+    )
+
+
+def _assert_plans_identical(small_pool, context, **kwargs):
+    scalar = StochasticConsolidation(engine="scalar", **kwargs).plan(context)
+    array = StochasticConsolidation(engine="array", **kwargs).plan(context)
+    auto = StochasticConsolidation(**kwargs).plan(context)
+    assert scalar.segments[0].placement == array.segments[0].placement
+    assert scalar.segments[0].placement == auto.segments[0].placement
+
+
+@pytest.mark.parametrize("overlap", [0.0, 0.55, 1.0])
+def test_engines_agree_across_overlap_factors(small_pool, overlap) -> None:
+    context = _context(small_pool)
+    _assert_plans_identical(
+        small_pool, context, tail_overlap_factor=overlap
+    )
+
+
+def test_engines_agree_with_io_models(small_pool) -> None:
+    config = PlanningConfig(
+        network=NetworkDemandModel(), disk=DiskDemandModel()
+    )
+    context = _context(small_pool, config=config)
+    _assert_plans_identical(small_pool, context)
+
+
+def test_engines_agree_on_generated_texture(
+    small_pool, generated_trace_set
+) -> None:
+    hours = generated_trace_set.n_points
+    context = PlanningContext(
+        history=generated_trace_set.window(0, hours // 2),
+        evaluation=generated_trace_set.window(hours // 2, hours),
+        datacenter=small_pool,
+        config=PlanningConfig(),
+    )
+    _assert_plans_identical(small_pool, context)
+
+
+def test_engines_agree_under_tight_bound(small_pool) -> None:
+    context = _context(small_pool, n_vms=20, seed=13)
+    _assert_plans_identical(
+        small_pool, context, utilization_bound=0.7, body_percentile=95.0
+    )
+
+
+def test_unknown_engine_rejected(small_pool) -> None:
+    context = _context(small_pool, days=2)
+    with pytest.raises(ConfigurationError):
+        StochasticConsolidation(engine="gpu").plan(context)
+
+
+def test_array_engine_rejects_constraints(small_pool) -> None:
+    context = _context(small_pool, days=2)
+    constrained = PlanningContext(
+        history=context.history,
+        evaluation=context.evaluation,
+        datacenter=context.datacenter,
+        constraints=ConstraintSet([AntiColocate("vm0", "vm1")]),
+        config=context.config,
+    )
+    with pytest.raises(ConfigurationError):
+        StochasticConsolidation(engine="array").plan(constrained)
+    # auto falls back to the scalar engine and honours the constraint.
+    placement = StochasticConsolidation().plan(constrained).segments[0].placement
+    assert placement.host_of("vm0") != placement.host_of("vm1")
+
+
+# ----------------------------------------------------------------------
+# Peak clustering: matrix Jaccard scan == scalar envelope_similarity scan.
+
+
+@pytest.mark.parametrize("threshold", [0.1, 0.25, 0.6, 1.0])
+def test_cluster_engines_agree(small_pool, threshold) -> None:
+    context = _context(small_pool, n_vms=24, seed=17)
+    scalar = cluster_by_peaks(
+        context.history, similarity_threshold=threshold, engine="scalar"
+    )
+    matrix = cluster_by_peaks(
+        context.history, similarity_threshold=threshold, engine="matrix"
+    )
+    auto = cluster_by_peaks(context.history, similarity_threshold=threshold)
+    assert scalar == matrix == auto
+
+
+def test_cluster_engines_agree_on_flat_envelopes() -> None:
+    """Flat series make empty envelopes (union == 0): both engines 0.0."""
+    traces = TraceSet(name="flat")
+    for i in range(6):
+        traces.add(
+            make_server_trace(
+                f"vm{i}", np.full(48, 0.2), np.full(48, 1.0)
+            )
+        )
+    scalar = cluster_by_peaks(traces, engine="scalar")
+    matrix = cluster_by_peaks(traces, engine="matrix")
+    assert scalar == matrix
+
+
+def test_cluster_unknown_engine_rejected(flat_trace_set) -> None:
+    with pytest.raises(TraceError):
+        cluster_by_peaks(flat_trace_set, engine="gpu")

@@ -1,0 +1,143 @@
+"""Batched migration simulation == looped ``simulate_migration``.
+
+``simulate_migrations`` advances all lanes through the pre-copy rounds
+with the same elementwise arithmetic as the scalar simulator, so every
+outcome (success flag, duration, downtime, rounds, bytes copied) must
+be equal — not approximately, exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.migration.cost import MigrationCostModel
+from repro.migration.precopy import (
+    PreCopyConfig,
+    simulate_migration,
+    simulate_migrations,
+)
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - environment without hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+def _assert_batch_matches(
+    memories, dirty_rates, cpu_utils, mem_utils, config
+) -> None:
+    batch = simulate_migrations(
+        memories,
+        dirty_rates,
+        host_cpu_util=cpu_utils,
+        host_memory_util=mem_utils,
+        config=config,
+    )
+    assert len(batch) == len(memories)
+    for i, outcome in enumerate(batch):
+        reference = simulate_migration(
+            memories[i],
+            dirty_rates[i],
+            host_cpu_util=cpu_utils[i],
+            host_memory_util=mem_utils[i],
+            config=config,
+        )
+        assert outcome == reference, i
+
+
+@pytest.mark.parametrize(
+    "config",
+    [
+        PreCopyConfig(),
+        # Tight budgets force the timeout and non-convergence exits.
+        PreCopyConfig(max_duration_s=15.0, max_rounds=4),
+        PreCopyConfig(min_round_shrink=0.5, stop_threshold_mb=8.0),
+    ],
+    ids=["default", "tight-budget", "strict-shrink"],
+)
+def test_batch_matches_loop_random(config) -> None:
+    rng = random.Random(repr(config))
+    for _ in range(10):
+        n = rng.randint(1, 60)
+        memories = [rng.uniform(0.25, 32.0) for _ in range(n)]
+        dirty_rates = [rng.uniform(0.0, 200.0) for _ in range(n)]
+        cpu_utils = [rng.uniform(0.0, 1.0) for _ in range(n)]
+        mem_utils = [rng.uniform(0.0, 1.0) for _ in range(n)]
+        _assert_batch_matches(
+            memories, dirty_rates, cpu_utils, mem_utils, config
+        )
+
+
+def test_scalar_utilizations_broadcast() -> None:
+    batch = simulate_migrations(
+        [2.0, 4.0, 8.0], [20.0, 40.0, 5.0],
+        host_cpu_util=0.8, host_memory_util=0.9,
+    )
+    for memory, dirty, outcome in zip(
+        [2.0, 4.0, 8.0], [20.0, 40.0, 5.0], batch
+    ):
+        assert outcome == simulate_migration(
+            memory, dirty, host_cpu_util=0.8, host_memory_util=0.9
+        )
+
+
+def test_empty_batch() -> None:
+    assert simulate_migrations([], []) == []
+
+
+def test_batch_validation_matches_scalar_messages() -> None:
+    with pytest.raises(ConfigurationError) as batch_error:
+        simulate_migrations([2.0, -1.0], [10.0, 10.0])
+    with pytest.raises(ConfigurationError) as scalar_error:
+        simulate_migration(-1.0, 10.0)
+    assert str(batch_error.value) == str(scalar_error.value)
+    with pytest.raises(ConfigurationError):
+        simulate_migrations([2.0], [10.0, 20.0])
+    with pytest.raises(ConfigurationError):
+        simulate_migrations([2.0, 3.0], [10.0, 20.0], host_cpu_util=[0.5])
+
+
+def test_cost_model_batch_matches_scalar() -> None:
+    model = MigrationCostModel()
+    memories = [0.0, 0.5, 2.0, 7.5, 64.0]
+    costs = model.costs_wh(memories)
+    assert costs == [model.cost_wh(m) for m in memories]
+    assert model.costs_wh([]) == []
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(
+        data=st.data(),
+        n=st.integers(1, 25),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hypothesis_batch_matches_loop(data, n):
+        memories = data.draw(
+            st.lists(st.floats(1e-3, 64.0), min_size=n, max_size=n)
+        )
+        dirty_rates = data.draw(
+            st.lists(st.floats(0.0, 500.0), min_size=n, max_size=n)
+        )
+        cpu_utils = data.draw(
+            st.lists(st.floats(0.0, 1.0), min_size=n, max_size=n)
+        )
+        mem_utils = data.draw(
+            st.lists(st.floats(0.0, 1.0), min_size=n, max_size=n)
+        )
+        config = data.draw(
+            st.sampled_from(
+                [
+                    PreCopyConfig(),
+                    PreCopyConfig(max_duration_s=10.0, max_rounds=3),
+                ]
+            )
+        )
+        _assert_batch_matches(
+            memories, dirty_rates, cpu_utils, mem_utils, config
+        )

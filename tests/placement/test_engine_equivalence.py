@@ -178,6 +178,43 @@ def test_duplicate_vm_ids_rejected() -> None:
 
 
 # ----------------------------------------------------------------------
+# engine="auto": size-aware dispatch, still pinned to both engines.
+
+
+@pytest.mark.parametrize("strategy", ["ffd", "bfd"])
+@pytest.mark.parametrize("n_hosts", [8, 64, 96, 512, 600])
+def test_auto_matches_forced_engines(strategy: str, n_hosts: int) -> None:
+    """auto must agree with both forced engines on either side of the
+    crossover (ffd switches at 64 hosts, bfd at 512)."""
+    rng = random.Random(f"auto-{strategy}-{n_hosts}")
+    demands = _random_demands(
+        rng, with_tails=True, n_vms=min(40, n_hosts)
+    )
+    pool = _pool(n_hosts)
+    kwargs = dict(utilization_bound=0.8, strategy=strategy)
+    auto = pack(demands, pool.hosts, engine="auto", **kwargs)
+    default = pack(demands, pool.hosts, **kwargs)
+    scalar = pack(demands, pool.hosts, engine="scalar", **kwargs)
+    array = pack(demands, pool.hosts, engine="array", **kwargs)
+    assert auto.assignment == scalar.assignment == array.assignment
+    assert default.assignment == auto.assignment
+
+
+def test_auto_crossover_thresholds_documented() -> None:
+    from repro.placement.binpacking import _AUTO_MIN_HOSTS
+
+    assert _AUTO_MIN_HOSTS == {"ffd": 64, "bfd": 512}
+
+
+def test_unknown_engine_rejected() -> None:
+    from repro.exceptions import ConfigurationError
+
+    demand = VMDemand(vm_id="vm0", cpu_rpe2=1.0, memory_gb=0.1)
+    with pytest.raises(ConfigurationError):
+        pack([demand], _pool(2).hosts, engine="gpu")
+
+
+# ----------------------------------------------------------------------
 # Hypothesis sweep: wider value coverage when the dependency is present.
 
 if HAVE_HYPOTHESIS:

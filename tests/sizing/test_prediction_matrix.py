@@ -1,0 +1,143 @@
+"""Batched predictor kernels == scalar ``predict_peak``, bit for bit.
+
+``predict_peak_matrix`` / ``predict_peak_table`` are the planner's
+batched prediction layer; the equivalence contract is exact equality
+against the scalar reference on every row and interval, not closeness.
+Driven by hypothesis when available, with a seeded stdlib sweep that
+always runs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.sizing.prediction import (
+    EwmaPredictor,
+    LastIntervalPredictor,
+    OraclePredictor,
+    PeriodicPeakPredictor,
+    build_peak_table,
+)
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - environment without hypothesis
+    HAVE_HYPOTHESIS = False
+
+PREDICTORS = [
+    LastIntervalPredictor(),
+    EwmaPredictor(),
+    EwmaPredictor(alpha=1.0),
+    PeriodicPeakPredictor(period=12, lookback_days=3),
+]
+
+
+def _random_matrix(rng: random.Random, n_rows: int, n_points: int):
+    base = np.array(
+        [[rng.uniform(0.0, 500.0) for _ in range(n_points)] for _ in range(n_rows)]
+    )
+    return base
+
+
+def _assert_matrix_matches_scalar(predictor, history, horizon, future=None):
+    batched = predictor.predict_peak_matrix(
+        history, horizon, actual_future=future
+    )
+    for row in range(history.shape[0]):
+        scalar = predictor.predict_peak(
+            history[row],
+            horizon,
+            actual_future=None if future is None else future[row],
+        )
+        assert batched[row] == scalar, (type(predictor).__name__, row)
+
+
+@pytest.mark.parametrize("predictor", PREDICTORS, ids=lambda p: repr(p))
+def test_matrix_matches_scalar_random(predictor) -> None:
+    rng = random.Random(repr(predictor))
+    for _ in range(20):
+        n_rows = rng.randint(1, 12)
+        n_points = rng.randint(2, 80)
+        horizon = rng.randint(1, n_points)
+        history = _random_matrix(rng, n_rows, n_points)
+        _assert_matrix_matches_scalar(predictor, history, horizon)
+
+
+def test_oracle_matrix_matches_scalar() -> None:
+    rng = random.Random("oracle")
+    predictor = OraclePredictor()
+    for _ in range(20):
+        n_rows = rng.randint(1, 12)
+        horizon = rng.randint(1, 24)
+        history = _random_matrix(rng, n_rows, rng.randint(2, 40))
+        future = _random_matrix(rng, n_rows, horizon + rng.randint(0, 10))
+        _assert_matrix_matches_scalar(
+            predictor, history, horizon, future=future
+        )
+
+
+@pytest.mark.parametrize(
+    "predictor",
+    PREDICTORS + [OraclePredictor()],
+    ids=lambda p: repr(p),
+)
+def test_peak_table_matches_per_interval_loop(predictor) -> None:
+    """The full table equals interval-by-interval scalar prediction."""
+    rng = random.Random(f"table-{predictor!r}")
+    for _ in range(10):
+        n_rows = rng.randint(1, 8)
+        horizon = rng.randint(1, 12)
+        history_points = horizon * rng.randint(1, 4)
+        n_intervals = rng.randint(1, 6)
+        n_points = history_points + horizon * n_intervals
+        full = _random_matrix(rng, n_rows, n_points)
+        starts = [history_points + i * horizon for i in range(n_intervals)]
+        table = build_peak_table(predictor, full, horizon, starts)
+        assert table.shape == (n_rows, n_intervals)
+        for column, start in enumerate(starts):
+            for row in range(n_rows):
+                scalar = predictor.predict_peak(
+                    full[row, :start],
+                    horizon,
+                    actual_future=full[row, start:],
+                )
+                assert table[row, column] == scalar, (row, column)
+
+
+def test_flat_history_predicts_flat() -> None:
+    history = np.full((3, 48), 0.25)
+    for predictor in PREDICTORS:
+        batched = predictor.predict_peak_matrix(history, 12)
+        assert np.all(batched == predictor.predict_peak(history[0], 12))
+
+
+if HAVE_HYPOTHESIS:
+
+    @given(
+        data=st.data(),
+        n_rows=st.integers(1, 6),
+        n_points=st.integers(2, 60),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_hypothesis_matrix_matches_scalar(data, n_rows, n_points):
+        history = np.array(
+            data.draw(
+                st.lists(
+                    st.lists(
+                        st.floats(0.0, 1e4, allow_nan=False),
+                        min_size=n_points,
+                        max_size=n_points,
+                    ),
+                    min_size=n_rows,
+                    max_size=n_rows,
+                )
+            )
+        )
+        horizon = data.draw(st.integers(1, n_points))
+        predictor = data.draw(st.sampled_from(PREDICTORS))
+        _assert_matrix_matches_scalar(predictor, history, horizon)
