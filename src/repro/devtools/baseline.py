@@ -9,6 +9,14 @@ code up or down.
 
 Deleting entries (or the whole file) ratchets the debt down; the linter
 never needs the baseline to grow.
+
+Format history: version 1 keyed entries by whatever path the engine
+displayed (cwd-relative, so baselines written from different
+directories disagreed); version 2 keys them by project-root-relative
+paths (anchored at ``pyproject.toml``, matching finding output).
+Version-1 files still load — their counts apply wherever the paths
+happen to match — and any ``--write-baseline`` rewrites them as
+version 2.
 """
 
 from __future__ import annotations
@@ -22,7 +30,8 @@ from repro.devtools.findings import Finding
 
 __all__ = ["load_baseline", "write_baseline", "apply_baseline", "baseline_counts"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+_ACCEPTED_VERSIONS = (1, _FORMAT_VERSION)
 
 BaselineCounts = Dict[str, Dict[str, int]]
 
@@ -45,9 +54,13 @@ def write_baseline(path: Path, findings: List[Finding]) -> None:
 def load_baseline(path: Path) -> BaselineCounts:
     """Read a baseline file, validating its format version."""
     payload = json.loads(path.read_text())
-    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+    if (
+        not isinstance(payload, dict)
+        or payload.get("version") not in _ACCEPTED_VERSIONS
+    ):
         raise ValueError(
-            f"{path}: not a repro-lint baseline (expected version {_FORMAT_VERSION})"
+            f"{path}: not a repro-lint baseline "
+            f"(expected version in {_ACCEPTED_VERSIONS})"
         )
     entries = payload.get("entries", {})
     if not isinstance(entries, dict):

@@ -10,17 +10,23 @@ Exit codes follow CI conventions:
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from collections import Counter
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.devtools import rules as _rules  # noqa: F401  (registers rules)
 from repro.devtools.baseline import apply_baseline, load_baseline, write_baseline
-from repro.devtools.engine import lint_paths
+from repro.devtools.engine import lint_paths, project_root_for
+from repro.devtools.output import FORMATS, render
 from repro.devtools.registry import RuleLookupError, all_rules, resolve_rule_ids
 
 __all__ = ["main", "build_parser"]
+
+#: Merge-base refs tried in order by ``--changed``; the first that
+#: resolves wins, so clones without an ``origin`` remote still work.
+_CHANGED_BASE_REFS = ("origin/main", "origin/master", "main")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -49,6 +55,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids/names to skip",
     )
     parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "report findings only in files changed since the merge base "
+            "with origin/main (the whole tree is still analyzed, so "
+            "cross-module rules keep full context); outside a git "
+            "checkout this falls back to a full report"
+        ),
+    )
+    parser.add_argument(
+        "--format",
+        choices=sorted(FORMATS),
+        default="text",
+        help="report format (default: text; sarif feeds GitHub code scanning)",
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        type=Path,
+        help="write the report to FILE instead of stdout",
+    )
+    parser.add_argument(
         "--baseline",
         metavar="FILE",
         type=Path,
@@ -63,7 +91,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--statistics",
         action="store_true",
-        help="print a per-rule finding count after the report",
+        help="print a per-rule finding count after the report (text format)",
     )
     parser.add_argument(
         "--list-rules",
@@ -77,6 +105,48 @@ def _parse_rule_list(spec: Optional[str]) -> Optional[List[str]]:
     if spec is None:
         return None
     return resolve_rule_ids([token for token in spec.split(",") if token.strip()])
+
+
+def _git_lines(args: List[str]) -> List[str]:
+    completed = subprocess.run(
+        ["git", *args], capture_output=True, text=True, check=True
+    )
+    return [line for line in completed.stdout.splitlines() if line.strip()]
+
+
+def changed_paths() -> Optional[Set[str]]:
+    """Project-root-relative paths changed vs the merge base, or None.
+
+    Changed = differing from ``merge-base HEAD <base>`` (committed or
+    not) plus untracked files, i.e. everything this branch would bring
+    to a pull request.  Returns ``None`` when git, the repository, or
+    every candidate base ref is unavailable — the caller then reports
+    everything rather than silently reporting nothing.
+    """
+    try:
+        toplevel = Path(_git_lines(["rev-parse", "--show-toplevel"])[0])
+        base = None
+        for ref in _CHANGED_BASE_REFS:
+            try:
+                base = _git_lines(["merge-base", "HEAD", ref])[0]
+                break
+            except subprocess.CalledProcessError:
+                continue
+        if base is None:
+            return None
+        names = _git_lines(["diff", "--name-only", base, "--"])
+        names += _git_lines(["ls-files", "--others", "--exclude-standard"])
+    except (OSError, subprocess.CalledProcessError, IndexError):
+        return None
+    changed: Set[str] = set()
+    for name in names:
+        absolute = toplevel / name
+        root = project_root_for(absolute.parent) or toplevel
+        try:
+            changed.add(absolute.relative_to(root).as_posix())
+        except ValueError:
+            changed.add(Path(name).as_posix())
+    return changed
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -118,10 +188,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"repro-lint: cannot read baseline: {exc}", file=sys.stderr)
             return 2
 
-    for finding in findings:
-        print(finding.render())
+    if args.changed:
+        changed = changed_paths()
+        if changed is None:
+            print(
+                "repro-lint: --changed could not determine a merge base; "
+                "reporting all findings",
+                file=sys.stderr,
+            )
+        else:
+            findings = [f for f in findings if f.path in changed]
 
-    if args.statistics and findings:
+    report = render(findings, args.format)
+    if args.output is not None:
+        args.output.write_text(report + "\n")
+    elif report:
+        print(report)
+
+    if args.format == "text" and args.statistics and findings:
         counts = Counter(finding.rule_id for finding in findings)
         for rule_id, count in sorted(counts.items()):
             print(f"{count:6d} {rule_id}")

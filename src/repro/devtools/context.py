@@ -12,7 +12,10 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.devtools.semantics import SemanticModel
 
 __all__ = ["Module", "Project"]
 
@@ -48,9 +51,15 @@ class Project:
     names.  A name defined more than once with *different* parameter
     lists is ambiguous and mapped to ``None`` so rules never guess.
     Dataclasses contribute their field order as a constructor signature.
+
+    ``semantics`` is the whole-program model
+    (:class:`~repro.devtools.semantics.SemanticModel`) the engine builds
+    before the collection pass — module graph, symbol tables, call
+    graph — for the interprocedural rules (REPRO110-113).
     """
 
     signatures: Dict[str, Optional[Tuple[str, ...]]] = field(default_factory=dict)
+    semantics: Optional["SemanticModel"] = None
 
     def record_signature(self, name: str, params: Sequence[str]) -> None:
         """Register a callable's positional parameter names.

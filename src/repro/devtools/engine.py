@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import ast
 import os
+from functools import lru_cache
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence
 
@@ -18,10 +19,17 @@ from repro.devtools.context import Module, Project
 from repro.devtools.findings import PARSE_ERROR_ID, Finding
 from repro.devtools.pragmas import filter_suppressed
 from repro.devtools.registry import Rule, all_rules
+from repro.devtools.semantics import SemanticModel
 
-__all__ = ["discover_files", "lint_paths"]
+__all__ = ["discover_files", "lint_paths", "project_root_for"]
 
 _SKIP_DIRS = {"__pycache__", ".git", ".hg", ".venv", "venv", "build", "dist"}
+
+#: Directories holding deliberately-violating lint fixtures.  Skipped
+#: during *directory expansion* only — naming a fixture file or a
+#: fixtures directory explicitly still lints it, which is how the
+#: devtools test suite exercises the rules.
+_FIXTURE_DIRS = {"fixtures"}
 
 
 def discover_files(paths: Sequence[Path]) -> List[Path]:
@@ -29,15 +37,20 @@ def discover_files(paths: Sequence[Path]) -> List[Path]:
 
     Raises ``FileNotFoundError`` for paths that do not exist so the CLI
     can report usage errors (exit code 2) rather than silently linting
-    nothing.
+    nothing.  Skip directories (caches, VCS state, fixture trees) are
+    matched against path components *below* each requested directory, so
+    a repository living under e.g. ``/home/ci/build`` is not skipped
+    wholesale.
     """
+    skip = _SKIP_DIRS | _FIXTURE_DIRS
     seen: Dict[Path, None] = {}
     for path in paths:
         if path.is_file():
             seen.setdefault(path.resolve(), None)
         elif path.is_dir():
             for candidate in sorted(path.rglob("*.py")):
-                if any(part in _SKIP_DIRS for part in candidate.parts):
+                inner = candidate.relative_to(path).parts[:-1]
+                if any(part in skip for part in inner):
                     continue
                 seen.setdefault(candidate.resolve(), None)
         else:
@@ -45,8 +58,35 @@ def discover_files(paths: Sequence[Path]) -> List[Path]:
     return list(seen)
 
 
+@lru_cache(maxsize=None)
+def project_root_for(directory: Path) -> Optional[Path]:
+    """The nearest ancestor of ``directory`` holding a ``pyproject.toml``.
+
+    Display paths (and therefore baseline entries) anchor here, so
+    reports and baselines match no matter which directory ``repro-lint``
+    runs from.
+    """
+    current = directory
+    while True:
+        if (current / "pyproject.toml").is_file():
+            return current
+        if current.parent == current:
+            return None
+        current = current.parent
+
+
 def _display_path(path: Path) -> str:
-    """Render ``path`` relative to the cwd when possible (stable output)."""
+    """Render ``path`` relative to the project root (stable output).
+
+    Files outside any detected project root fall back to cwd-relative
+    rendering, keeping ad-hoc lints of scratch files readable.
+    """
+    root = project_root_for(path.parent)
+    if root is not None:
+        try:
+            return path.relative_to(root).as_posix()
+        except ValueError:  # pragma: no cover - root is an ancestor
+            pass
     try:
         rel = path.relative_to(Path.cwd())
     except ValueError:
@@ -110,6 +150,7 @@ def lint_paths(
     rules = _enabled_rules(select, ignore)
 
     project = Project()
+    project.semantics = SemanticModel(modules)
     for rule in rules:
         for module in modules:
             rule.collect(module, project)

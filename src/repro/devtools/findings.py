@@ -21,7 +21,9 @@ class Finding:
     ----------
     path:
         Display path of the offending file (POSIX separators, relative
-        to the invocation directory when possible).
+        to the ``pyproject.toml``-anchored project root when one exists,
+        else to the invocation directory) — the same convention baseline
+        files use, so reports and baselines agree from any cwd.
     line / col:
         1-based line and 0-based column of the offending node, matching
         the ``ast`` convention used by flake8-style tools.

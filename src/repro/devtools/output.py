@@ -1,0 +1,126 @@
+"""Report serialisation for ``repro-lint``: text, JSON, SARIF.
+
+Text is the human/CI-log format (one ``path:line:col RULE message``
+per line).  JSON is a stable machine-readable dump for scripting.
+SARIF 2.1.0 is the interchange format GitHub code scanning ingests —
+``.github/workflows/ci.yml`` uploads it so findings surface as inline
+annotations on pull requests.
+
+All formats consume the same post-pragma, post-baseline finding list,
+so what CI annotates is exactly what fails the build.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.devtools.findings import PARSE_ERROR_ID, Finding
+from repro.devtools.registry import all_rules
+
+__all__ = ["FORMATS", "render"]
+
+_SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def render(findings: Sequence[Finding], fmt: str) -> str:
+    """Serialise ``findings`` in ``fmt`` (one of :data:`FORMATS`)."""
+    return FORMATS[fmt](findings)
+
+
+def _render_text(findings: Sequence[Finding]) -> str:
+    return "\n".join(finding.render() for finding in findings)
+
+
+def _render_json(findings: Sequence[Finding]) -> str:
+    payload = [
+        {
+            "path": f.path,
+            "line": f.line,
+            "col": f.col,
+            "rule_id": f.rule_id,
+            "message": f.message,
+        }
+        for f in findings
+    ]
+    return json.dumps(payload, indent=2)
+
+
+def _rule_metadata() -> List[Dict[str, object]]:
+    rules: List[Dict[str, object]] = [
+        {
+            "id": PARSE_ERROR_ID,
+            "name": "parse-error",
+            "shortDescription": {"text": "file could not be parsed"},
+        }
+    ]
+    for cls in all_rules():
+        rules.append(
+            {
+                "id": cls.rule_id,
+                "name": cls.name,
+                "shortDescription": {"text": cls.rationale},
+                "helpUri": (
+                    "https://github.com/anonymous/repro/blob/main/docs/"
+                    "STATIC_ANALYSIS.md"
+                ),
+            }
+        )
+    return rules
+
+
+def _render_sarif(findings: Sequence[Finding]) -> str:
+    results = [
+        {
+            "ruleId": f.rule_id,
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path,
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            # SARIF columns are 1-based; findings use the
+                            # ast convention (0-based).
+                            "startColumn": f.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    payload = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": (
+                            "https://github.com/anonymous/repro/blob/main/"
+                            "docs/STATIC_ANALYSIS.md"
+                        ),
+                        "rules": _rule_metadata(),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+FORMATS = {
+    "text": _render_text,
+    "json": _render_json,
+    "sarif": _render_sarif,
+}

@@ -1,0 +1,87 @@
+"""Engine/reference pairing manifest for REPRO110 (engine-parity).
+
+Every vectorized engine in this codebase is pinned to a retained scalar
+reference by equivalence tests (``docs/PERFORMANCE.md``); this manifest
+makes the *API* side of that contract static.  REPRO110 reads it (and
+any other analyzed module defining a ``PARITY_MANIFEST``) and reports
+when a declared pair's public methods or signatures drift apart —
+catching the "changed the engine, forgot the reference" edit before the
+equivalence suite does, and in code the suite cannot see (new
+parameters with defaults, renamed keywords).
+
+Manifest entries are plain literals (the rule parses them from the AST
+without importing anything):
+
+``reference`` / ``engine``
+    ``module.path:Symbol`` or ``module.path:Symbol.method`` specs.  A
+    pair of classes compares every same-named public method plus the
+    explicit ``methods`` correspondences; a pair of callables compares
+    just those signatures.  Pairs whose modules are not part of the
+    analyzed set are skipped, so subset lints stay quiet.
+``methods``
+    Optional mapping of reference method name → list of engine method
+    names for renamed counterparts (``fits`` → ``fits_mask``/``fits_one``).
+``engine_extra``
+    Parameter names the engine side adds (bin indices, the algorithm
+    instance a free function takes instead of ``self``); they are
+    removed from the engine signature before comparison.
+``renames``
+    Reference parameter name → engine parameter name, for batched
+    variants that pluralize (``vm_id`` → ``vm_ids``).
+
+Return annotations are deliberately *not* compared: scalar/matrix
+twins legitimately return ``float`` vs ``np.ndarray``.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PARITY_MANIFEST"]
+
+PARITY_MANIFEST = (
+    # Scalar reference emulator ↔ columnar scatter-add emulator.
+    {
+        "reference": "repro.emulator.reference:ReferenceConsolidationEmulator",
+        "engine": "repro.emulator.emulator:ConsolidationEmulator",
+    },
+    # Bin-at-a-time packing state ↔ array-backed bin state.  The array
+    # engine addresses bins by index, hence the extra index parameters.
+    {
+        "reference": "repro.placement.binpacking:Bin",
+        "engine": "repro.placement.arraybins:BinArray",
+        "methods": {
+            "fits": ["fits_mask", "fits_one"],
+            "residual": ["residuals"],
+        },
+        "engine_extra": ["index", "indices"],
+    },
+    # Sticky dynamic repacking: scalar planner method ↔ array planner
+    # free function (takes the algorithm instance in place of self).
+    {
+        "reference": "repro.core.dynamic:DynamicConsolidation.plan",
+        "engine": "repro.core.dynamic_vector:plan_dynamic_array",
+        "engine_extra": ["algorithm"],
+    },
+    # Scalar ↔ matrix peak prediction, per predictor.
+    {
+        "reference": "repro.sizing.prediction:OraclePredictor.predict_peak",
+        "engine": "repro.sizing.prediction:OraclePredictor.predict_peak_matrix",
+    },
+    {
+        "reference": "repro.sizing.prediction:LastIntervalPredictor.predict_peak",
+        "engine": "repro.sizing.prediction:LastIntervalPredictor.predict_peak_matrix",
+    },
+    {
+        "reference": "repro.sizing.prediction:EwmaPredictor.predict_peak",
+        "engine": "repro.sizing.prediction:EwmaPredictor.predict_peak_matrix",
+    },
+    {
+        "reference": "repro.sizing.prediction:PeriodicPeakPredictor.predict_peak",
+        "engine": "repro.sizing.prediction:PeriodicPeakPredictor.predict_peak_matrix",
+    },
+    # Scalar ↔ batched sizing from predicted peaks.
+    {
+        "reference": "repro.sizing.estimator:SizeEstimator.estimate_from_values",
+        "engine": "repro.sizing.estimator:SizeEstimator.estimate_matrix",
+        "renames": {"vm_id": "vm_ids", "workload_class": "workload_classes"},
+    },
+)

@@ -9,23 +9,15 @@ unchanged.
 from repro.devtools.rules import (  # noqa: F401  (imported for registration)
     annotations,
     bare_except,
+    cache_purity,
     dataclass_validation,
+    dead_api,
     determinism,
+    engine_parity,
     float_compare,
     mutable_defaults,
     no_print,
+    unit_flow,
     unit_suffix,
     vectorization,
 )
-
-__all__ = [
-    "annotations",
-    "bare_except",
-    "dataclass_validation",
-    "determinism",
-    "float_compare",
-    "mutable_defaults",
-    "no_print",
-    "unit_suffix",
-    "vectorization",
-]

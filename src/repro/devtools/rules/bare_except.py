@@ -18,8 +18,6 @@ from repro.devtools.context import Module, Project
 from repro.devtools.findings import Finding
 from repro.devtools.registry import Rule, register
 
-__all__ = ["BareExceptRule"]
-
 
 @register
 class BareExceptRule(Rule):

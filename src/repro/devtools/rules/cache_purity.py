@@ -1,0 +1,281 @@
+"""REPRO111: code reachable from runner task entry points stays pure.
+
+The :mod:`repro.runner` cache is content-addressed: a task's result is
+keyed by its ``(kind, params)`` document and nothing else.  That key is
+only *sound* if executing the task twice with the same params produces
+the same result — which breaks the moment anything reachable from a
+task executor reads wall-clock time, samples a global or unseeded RNG,
+consults the environment, or leans on mutable module state.  A stale
+cache entry then silently stands in for a different answer, and every
+golden/benchmark number downstream inherits the lie.
+
+This rule walks the project call graph (``project.semantics``) from
+every function decorated with ``@register_task_kind(...)`` and flags,
+inside any reachable function:
+
+* **wall-clock reads** — ``time.time()``, ``time.perf_counter()``,
+  ``datetime.now()`` and friends;
+* **global/unseeded RNG** — ``np.random.*`` module-level samplers,
+  stdlib ``random.*`` samplers, argument-less ``default_rng()`` /
+  ``SeedSequence()``;
+* **environment reads outside the sanctioned accessors** —
+  ``os.environ`` / ``os.getenv`` is allowed only when the key is a
+  ``REPRO_*`` string literal or a module constant holding one (the
+  ``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE`` / ``REPRO_SCALE`` pattern:
+  such reads are part of the runner's own configuration surface and are
+  excluded from cache keys deliberately);
+* **module-state mutation** — assigning a name declared ``global``.
+
+The call graph is best-effort (dynamic dispatch via ``getattr`` is
+invisible to it), so this is a ratchet, not a proof: it catches the
+direct and one-annotation-hop chains that account for nearly all real
+regressions.  Timing metadata that never lands in a cached payload
+(the runner's own ``perf_counter`` bookkeeping) is sanctioned with
+per-line pragmas at the site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.devtools.context import Module, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+from repro.devtools.semantics import (
+    FunctionInfo,
+    ModuleInfo,
+    SemanticModel,
+    walk_code,
+)
+
+_ENTRY_DECORATOR = "register_task_kind"
+
+_WALL_CLOCK = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.localtime",
+        "time.gmtime",
+        "time.ctime",
+        "time.asctime",
+        "time.strftime",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+_STDLIB_SAMPLERS = frozenset(
+    {
+        "random.random",
+        "random.randint",
+        "random.randrange",
+        "random.choice",
+        "random.choices",
+        "random.shuffle",
+        "random.sample",
+        "random.uniform",
+        "random.gauss",
+        "random.normalvariate",
+        "random.expovariate",
+        "random.betavariate",
+        "random.seed",
+        "random.getrandbits",
+    }
+)
+
+#: numpy.random attributes that are *not* global samplers.
+_NUMPY_RANDOM_OK = frozenset(
+    {"Generator", "SeedSequence", "BitGenerator", "PCG64", "Philox", "default_rng"}
+)
+
+_ENV_PREFIX = "REPRO_"
+
+
+@register
+class CachePurityRule(Rule):
+    rule_id = "REPRO111"
+    name = "cache-purity"
+    rationale = (
+        "functions reachable from @register_task_kind entry points must "
+        "not read clocks, global RNG, or non-REPRO_* environment, nor "
+        "mutate module state: the result cache keys on params alone"
+    )
+
+    def __init__(self) -> None:
+        self._computed_for: Optional[int] = None
+        self._by_rel: Dict[str, List[Finding]] = {}
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        model = project.semantics
+        if model is None:
+            return
+        if self._computed_for != id(project):
+            self._by_rel = self._analyze(model)
+            self._computed_for = id(project)
+        yield from self._by_rel.get(module.rel, [])
+
+    # ------------------------------------------------------------------
+
+    def _analyze(self, model: SemanticModel) -> Dict[str, List[Finding]]:
+        roots = [
+            key
+            for key, fn in sorted(model.functions.items())
+            if any(
+                d.split(".")[-1] == _ENTRY_DECORATOR for d in fn.decorators
+            )
+        ]
+        if not roots:
+            return {}
+        paths = model.reachable_from(roots)
+        findings: Dict[str, List[Finding]] = {}
+        for key in sorted(paths):
+            fn = model.functions.get(key)
+            if fn is None:
+                continue
+            info = model.modules.get(fn.module)
+            if info is None:
+                continue
+            for node, problem in self._impurities(model, info, fn):
+                findings.setdefault(info.rel, []).append(
+                    Finding(
+                        path=info.rel,
+                        line=getattr(node, "lineno", 1),
+                        col=getattr(node, "col_offset", 0),
+                        rule_id=self.rule_id,
+                        message=(
+                            f"{problem} in {fn.qualname}(), which is "
+                            f"{_route(paths[key])}: cached results must "
+                            "depend on task params alone"
+                        ),
+                    )
+                )
+        return findings
+
+    def _impurities(
+        self, model: SemanticModel, info: ModuleInfo, fn: FunctionInfo
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        mutated_globals = _mutated_globals(fn.node)
+        for node in walk_code(fn.node):
+            if isinstance(node, ast.Call):
+                yield from self._impure_call(model, info, node)
+            elif isinstance(node, ast.Subscript):
+                target = _external_path(model, info, node.value)
+                if target == "os.environ" and not _sanctioned_env_key(
+                    model, info, node.slice
+                ):
+                    yield node, "os.environ read with a non-REPRO_* key"
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                for name in _assigned_names(node):
+                    if name in mutated_globals:
+                        yield node, f"mutation of module-level state {name!r}"
+
+    def _impure_call(
+        self, model: SemanticModel, info: ModuleInfo, node: ast.Call
+    ) -> Iterator[Tuple[ast.AST, str]]:
+        target = _external_path(model, info, node.func)
+        if target is None:
+            return
+        if target in _WALL_CLOCK:
+            yield node, f"wall-clock read via {target}()"
+        elif target in _STDLIB_SAMPLERS:
+            yield node, f"global stdlib RNG via {target}()"
+        elif target.startswith("numpy.random."):
+            attr = target.split(".")[-1]
+            if attr not in _NUMPY_RANDOM_OK:
+                yield node, f"global numpy RNG via {target}()"
+            elif attr in ("default_rng", "SeedSequence") and not (
+                node.args or node.keywords
+            ):
+                yield node, f"unseeded {target}()"
+        elif target in ("os.getenv", "os.environ.get"):
+            key = node.args[0] if node.args else None
+            if not _sanctioned_env_key(model, info, key):
+                yield node, f"{target}() with a non-REPRO_* key"
+
+
+def _route(path: Tuple[str, ...]) -> str:
+    """Human-readable reachability evidence for one finding."""
+    names = [key.rpartition(":")[2] for key in path]
+    root = names[0]
+    if len(names) == 1:
+        return f"the task entry point {root}"
+    via = names[1:-1]
+    if len(via) > 3:
+        via = via[:2] + ["..."] + via[-1:]
+    route = " -> ".join(via + [names[-1]])
+    return f"reachable from task entry point {root} via {route}"
+
+
+def _external_path(
+    model: SemanticModel, info: ModuleInfo, node: ast.AST
+) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    resolved = model.resolve_dotted(info, parts)
+    if resolved is not None and resolved.kind == "external":
+        return resolved.key
+    return None
+
+
+def _sanctioned_env_key(
+    model: SemanticModel, info: ModuleInfo, key: Optional[ast.AST]
+) -> bool:
+    """True when an environment key is a ``REPRO_*`` name, statically."""
+    if key is None:
+        return False
+    if isinstance(key, ast.Constant):
+        return isinstance(key.value, str) and key.value.startswith(_ENV_PREFIX)
+    parts: List[str] = []
+    node = key
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        resolved = model.resolve_dotted(info, parts)
+        if resolved is not None and resolved.kind == "assign":
+            module_name, _, symbol = resolved.key.partition(":")
+            assign_info = model.modules.get(module_name)
+            value = assign_info.assigns.get(symbol) if assign_info else None
+            return (
+                isinstance(value, ast.Constant)
+                and isinstance(value.value, str)
+                and value.value.startswith(_ENV_PREFIX)
+            )
+    return False
+
+
+def _mutated_globals(fn_node: ast.AST) -> frozenset:
+    names = set()
+    for node in walk_code(fn_node):
+        if isinstance(node, ast.Global):
+            names.update(node.names)
+    return frozenset(names)
+
+
+def _assigned_names(node: ast.stmt) -> Iterator[str]:
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        targets = [node.target]
+    else:
+        return
+    for target in targets:
+        for leaf in ast.walk(target):
+            if isinstance(leaf, ast.Name):
+                yield leaf.id

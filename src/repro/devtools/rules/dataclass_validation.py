@@ -19,8 +19,6 @@ from repro.devtools.context import Module, Project
 from repro.devtools.findings import Finding
 from repro.devtools.registry import Rule, register
 
-__all__ = ["UnvalidatedDataclassRule"]
-
 _SCOPED_PACKAGES = ("infrastructure", "workloads")
 
 

@@ -1,0 +1,89 @@
+"""REPRO113: every exported name must have a consumer somewhere.
+
+``__all__`` is this codebase's public-API contract; an entry nothing
+imports is contract rot — it advertises surface the equivalence suites
+and examples never exercise, and it keeps dead code alive (REPRO113's
+cleanup partner is deleting the symbol, not just the string).
+
+An export is *dead* when no analyzed module other than its defining one
+mentions the name at all.  "Mentions" is deliberately loose
+(vulture-style, errs toward alive): name loads, attribute accesses,
+``from x import name``, and identifier-shaped string constants all
+count, so dispatch tables and ``getattr`` patterns never produce false
+positives.  A module's own ``__all__`` entries are excluded from its
+reference corpus — an export naming itself is not evidence of use — but
+re-export chains work naturally: a package ``__init__`` that imports a
+submodule symbol keeps the *submodule's* entry alive, while the
+``__init__``'s own entry must be justified by some third module.
+
+The rule only fires when the analyzed set spans more than one top-level
+package (``src/repro`` plus ``tests``/``examples``/``benchmarks``):
+linting a subset proves nothing about liveness, so subset runs stay
+quiet by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.devtools.context import Module, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+from repro.devtools.semantics import SemanticModel
+
+
+@register
+class DeadApiRule(Rule):
+    rule_id = "REPRO113"
+    name = "dead-api"
+    rationale = (
+        "__all__ entries never referenced by any other analyzed module "
+        "are dead public API; delete the export (and usually the symbol)"
+    )
+
+    def __init__(self) -> None:
+        self._computed_for: Optional[int] = None
+        self._by_rel: Dict[str, List[Finding]] = {}
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        model = project.semantics
+        if model is None:
+            return
+        if self._computed_for != id(project):
+            self._by_rel = self._analyze(model)
+            self._computed_for = id(project)
+        yield from self._by_rel.get(module.rel, [])
+
+    # ------------------------------------------------------------------
+
+    def _analyze(self, model: SemanticModel) -> Dict[str, List[Finding]]:
+        tops = {info.name.split(".")[0] for info in model.by_rel.values()}
+        if len(tops) < 2:
+            # Subset lint (src only, one package): liveness undecidable.
+            return {}
+        referencers: Dict[str, Set[str]] = {}
+        for info in model.by_rel.values():
+            for name in info.referenced:
+                referencers.setdefault(name, set()).add(info.rel)
+        findings: Dict[str, List[Finding]] = {}
+        for info in sorted(model.by_rel.values(), key=lambda i: i.rel):
+            if not info.exports:
+                continue
+            for name, line in info.exports:
+                if referencers.get(name, set()) - {info.rel}:
+                    continue
+                findings.setdefault(info.rel, []).append(
+                    Finding(
+                        path=info.rel,
+                        line=line,
+                        col=0,
+                        rule_id=self.rule_id,
+                        message=(
+                            f"exported name {name!r} is never referenced "
+                            "outside this module anywhere in the analyzed "
+                            "tree; remove it from __all__ (and delete the "
+                            "symbol if nothing internal uses it)"
+                        ),
+                    )
+                )
+        return findings

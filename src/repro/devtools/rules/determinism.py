@@ -18,8 +18,6 @@ from repro.devtools.context import Module, Project
 from repro.devtools.findings import Finding
 from repro.devtools.registry import Rule, register
 
-__all__ = ["GlobalRngRule"]
-
 #: numpy.random attributes that are fine to *call* because they build
 #: explicitly seeded generators (when given a seed — the zero-argument
 #: forms draw OS entropy and are flagged separately).

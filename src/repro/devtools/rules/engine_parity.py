@@ -1,0 +1,311 @@
+"""REPRO110: declared engine/reference pairs must not drift apart.
+
+Every vectorized engine keeps a scalar reference implementation pinned
+by equivalence tests (emulator scatter-add vs loop replay, array bins
+vs bin-at-a-time packing, incremental dynamic repacking vs the sticky
+scalar planner, matrix vs scalar sizing).  Those suites catch *result*
+drift; this rule catches *API* drift — a parameter added to the engine
+but not the reference, a renamed keyword, a changed default — by
+comparing the public surface of each pair declared in a
+``PARITY_MANIFEST`` (see :mod:`repro.devtools.parity`, the in-tree
+manifest).
+
+For a pair of classes the synced surface is every public method of the
+reference: it must have a same-named engine method, an explicit entry
+in the pair's ``methods`` map, or an entry in ``unpaired`` (scalar-only
+conveniences).  For a pair of callables the two signatures are compared
+directly.  Comparison normalizes ``self``/``cls``, drops declared
+``engine_extra`` parameters (bin indices, the algorithm instance a free
+function takes instead of ``self``), applies declared ``renames``, and
+then requires identical positional order, keyword-only sets, and
+default-value expressions.
+
+Pairs whose modules are outside the analyzed set are skipped, so
+subset lints (``repro-lint src/repro/devtools``) stay quiet; a module
+that *is* analyzed but no longer defines the declared symbol is
+reported — that is exactly the rename-without-updating-the-manifest
+drift this rule exists to catch.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.devtools.context import Module, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+from repro.devtools.semantics import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    SemanticModel,
+)
+
+_MANIFEST_NAME = "PARITY_MANIFEST"
+_ENTRY_KEYS = {"reference", "engine", "methods", "engine_extra", "renames", "unpaired"}
+
+
+@register
+class EngineParityRule(Rule):
+    rule_id = "REPRO110"
+    name = "engine-parity"
+    rationale = (
+        "vectorized engines and their scalar references (PARITY_MANIFEST "
+        "pairs) must keep public methods and signatures in sync"
+    )
+
+    def __init__(self) -> None:
+        self._computed_for: Optional[int] = None
+        self._by_rel: Dict[str, List[Finding]] = {}
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        model = project.semantics
+        if model is None:
+            return
+        if self._computed_for != id(project):
+            self._by_rel = self._analyze(model)
+            self._computed_for = id(project)
+        yield from self._by_rel.get(module.rel, [])
+
+    # ------------------------------------------------------------------
+
+    def _analyze(self, model: SemanticModel) -> Dict[str, List[Finding]]:
+        findings: Dict[str, List[Finding]] = {}
+
+        def report(rel: str, node: ast.AST, message: str) -> None:
+            findings.setdefault(rel, []).append(
+                Finding(
+                    path=rel,
+                    line=getattr(node, "lineno", 1),
+                    col=getattr(node, "col_offset", 0),
+                    rule_id=self.rule_id,
+                    message=message,
+                )
+            )
+
+        for info in sorted(model.by_rel.values(), key=lambda i: i.rel):
+            manifest = info.assigns.get(_MANIFEST_NAME)
+            if manifest is None:
+                continue
+            entries = self._parse_manifest(info, manifest, report)
+            for entry in entries:
+                self._check_pair(model, info, manifest, entry, report)
+        return findings
+
+    def _parse_manifest(self, info, node, report) -> List[dict]:
+        try:
+            value = ast.literal_eval(node)
+        except (ValueError, SyntaxError):
+            report(
+                info.rel,
+                node,
+                f"{_MANIFEST_NAME} must be a literal tuple/list of dicts "
+                "(no computed values)",
+            )
+            return []
+        if not isinstance(value, (tuple, list)):
+            report(info.rel, node, f"{_MANIFEST_NAME} must be a tuple or list")
+            return []
+        entries = []
+        for index, entry in enumerate(value):
+            problem = _entry_problem(entry)
+            if problem:
+                report(
+                    info.rel, node, f"{_MANIFEST_NAME}[{index}]: {problem}"
+                )
+                continue
+            entries.append(entry)
+        return entries
+
+    def _check_pair(self, model, info, node, entry, report) -> None:
+        pair_label = f"{entry['reference']} ~ {entry['engine']}"
+        sides = {}
+        for side in ("reference", "engine"):
+            spec = entry[side]
+            module_name = spec.partition(":")[0]
+            side_info = model.modules.get(module_name)
+            if side_info is None:
+                return  # module outside the analyzed set: subset lint
+            resolved = model.lookup(spec)
+            if resolved is None or resolved.kind not in ("class", "function"):
+                report(
+                    side_info.rel,
+                    side_info.module.tree,
+                    f"engine-parity pair {pair_label}: {side} symbol "
+                    f"{spec!r} not found in this module (renamed without "
+                    "updating the manifest?)",
+                )
+                return
+            sides[side] = resolved
+        ref_res, eng_res = sides["reference"], sides["engine"]
+        if ref_res.kind != eng_res.kind:
+            report(
+                info.rel,
+                node,
+                f"engine-parity pair {pair_label}: cannot compare a "
+                f"{ref_res.kind} with a {eng_res.kind}",
+            )
+            return
+        extra = frozenset(entry.get("engine_extra", ()))
+        renames = dict(entry.get("renames", {}))
+        if ref_res.kind == "function":
+            ref_fn = model.functions[ref_res.key]
+            eng_fn = model.functions[eng_res.key]
+            eng_info = model.modules[eng_fn.module]
+            for issue in _signature_issues(ref_fn, eng_fn, extra, renames):
+                report(
+                    eng_info.rel,
+                    eng_fn.node,
+                    f"engine-parity drift in pair {pair_label}: {issue}",
+                )
+            return
+        self._check_class_pair(
+            model, entry, pair_label, ref_res, eng_res, extra, renames, report
+        )
+
+    def _check_class_pair(
+        self, model, entry, pair_label, ref_res, eng_res, extra, renames, report
+    ) -> None:
+        ref_cls = model.classes[ref_res.key]
+        eng_cls = model.classes[eng_res.key]
+        eng_info = model.modules[eng_cls.module]
+        method_map = {
+            name: list(targets)
+            for name, targets in entry.get("methods", {}).items()
+        }
+        unpaired = frozenset(entry.get("unpaired", ())) | _implicit_unpaired(
+            ref_cls, eng_cls, method_map
+        )
+        for name in sorted(ref_cls.methods):
+            if name.startswith("_"):
+                continue
+            ref_method = ref_cls.methods[name]
+            if name in method_map:
+                targets = method_map[name]
+            elif name in eng_cls.methods:
+                targets = [name]
+            elif name in unpaired:
+                continue
+            else:
+                report(
+                    eng_info.rel,
+                    eng_cls.node,
+                    f"engine-parity drift in pair {pair_label}: reference "
+                    f"method {ref_cls.name}.{name}() has no counterpart on "
+                    f"{eng_cls.name} (add it, map it under 'methods', or "
+                    "declare it 'unpaired' in the manifest)",
+                )
+                continue
+            for target in targets:
+                eng_method = eng_cls.methods.get(target)
+                if eng_method is None:
+                    report(
+                        eng_info.rel,
+                        eng_cls.node,
+                        f"engine-parity drift in pair {pair_label}: "
+                        f"{eng_cls.name}.{target}() (paired with reference "
+                        f"{ref_cls.name}.{name}()) does not exist",
+                    )
+                    continue
+                for issue in _signature_issues(
+                    ref_method, eng_method, extra, renames
+                ):
+                    report(
+                        eng_info.rel,
+                        eng_method.node,
+                        f"engine-parity drift in pair {pair_label}, method "
+                        f"{name} ~ {target}: {issue}",
+                    )
+
+
+def _implicit_unpaired(
+    ref_cls: ClassInfo, eng_cls: ClassInfo, method_map: Dict[str, list]
+) -> frozenset:
+    """Reference-only conveniences that predate the pairing contract.
+
+    A reference method is implicitly unpaired when it is a property or
+    classmethod — scalar accessors the array engine replaces with plain
+    vector attributes rather than per-bin calls.
+    """
+    implicit = set()
+    for name, method in ref_cls.methods.items():
+        terminal = {d.split(".")[-1] for d in method.decorators}
+        if terminal & {"property", "classmethod", "staticmethod", "cached_property"}:
+            implicit.add(name)
+    return frozenset(implicit)
+
+
+def _entry_problem(entry: object) -> Optional[str]:
+    if not isinstance(entry, dict):
+        return "entries must be dicts"
+    unknown = set(entry) - _ENTRY_KEYS
+    if unknown:
+        return f"unknown keys {sorted(unknown)}"
+    for side in ("reference", "engine"):
+        spec = entry.get(side)
+        if not isinstance(spec, str) or ":" not in spec:
+            return f"{side!r} must be a 'module.path:Symbol' string"
+    methods = entry.get("methods", {})
+    if not isinstance(methods, dict) or not all(
+        isinstance(k, str)
+        and isinstance(v, (list, tuple))
+        and all(isinstance(t, str) for t in v)
+        for k, v in methods.items()
+    ):
+        return "'methods' must map names to lists of names"
+    for key in ("engine_extra", "unpaired"):
+        seq = entry.get(key, ())
+        if not isinstance(seq, (list, tuple)) or not all(
+            isinstance(p, str) for p in seq
+        ):
+            return f"{key!r} must be a list of parameter names"
+    renames = entry.get("renames", {})
+    if not isinstance(renames, dict) or not all(
+        isinstance(k, str) and isinstance(v, str) for k, v in renames.items()
+    ):
+        return "'renames' must map names to names"
+    return None
+
+
+def _strip_self(params: Tuple[str, ...]) -> Tuple[str, ...]:
+    if params[:1] in (("self",), ("cls",)):
+        return params[1:]
+    return params
+
+
+def _signature_issues(
+    ref: FunctionInfo,
+    eng: FunctionInfo,
+    extra: frozenset,
+    renames: Dict[str, str],
+) -> Iterator[str]:
+    """Compare two signatures after normalization; yield drift messages."""
+    ref_pos = [renames.get(p, p) for p in _strip_self(ref.positional)]
+    eng_pos = [p for p in _strip_self(eng.positional) if p not in extra]
+    if ref_pos != eng_pos:
+        yield (
+            f"positional parameters differ: reference ({', '.join(ref_pos) or '-'}) "
+            f"vs engine ({', '.join(eng_pos) or '-'})"
+        )
+    ref_kw = {renames.get(p, p) for p in ref.kwonly}
+    eng_kw = {p for p in eng.kwonly if p not in extra}
+    missing = sorted(ref_kw - eng_kw)
+    added = sorted(eng_kw - ref_kw)
+    if missing:
+        yield f"keyword-only parameter(s) {missing} missing on the engine side"
+    if added:
+        yield f"engine adds undeclared keyword-only parameter(s) {added}"
+    eng_params = set(eng_pos) | eng_kw
+    for param in (*_strip_self(ref.positional), *ref.kwonly):
+        mapped = renames.get(param, param)
+        if mapped not in eng_params:
+            continue  # already reported above
+        ref_default = ref.defaults.get(param)
+        eng_default = eng.defaults.get(mapped)
+        if ref_default != eng_default:
+            yield (
+                f"default for {mapped!r} differs: reference "
+                f"{ref_default or '<required>'} vs engine "
+                f"{eng_default or '<required>'}"
+            )

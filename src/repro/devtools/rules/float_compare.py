@@ -22,8 +22,6 @@ from repro.devtools.context import Module, Project
 from repro.devtools.findings import Finding
 from repro.devtools.registry import Rule, register
 
-__all__ = ["FloatEqualityRule"]
-
 #: Identifier patterns that mark a value as capacity/utilization-like.
 _RESOURCE_NAME_RE = re.compile(
     r"(_mbps|_gbps|_mb|_gb|_mhz|_frac|_pct|_rpe2|_watts"

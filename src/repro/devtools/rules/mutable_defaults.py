@@ -17,8 +17,6 @@ from repro.devtools.context import Module, Project
 from repro.devtools.findings import Finding
 from repro.devtools.registry import Rule, register
 
-__all__ = ["MutableDefaultRule"]
-
 _MUTABLE_LITERALS = (
     ast.List,
     ast.Dict,

@@ -16,8 +16,6 @@ from repro.devtools.context import Module, Project
 from repro.devtools.findings import Finding
 from repro.devtools.registry import Rule, register
 
-__all__ = ["StrayPrintRule"]
-
 _ALLOWED_BASENAMES = ("cli.py",)
 _ALLOWED_SUFFIXES = ("experiments/formatting.py",)
 

@@ -1,0 +1,441 @@
+"""REPRO112: unit-suffix discipline through calls and assignment chains.
+
+REPRO105 checks *direct*, lexically visible flows: a ``_mb`` name into
+a ``_gb`` slot.  This rule extends the same discipline through the two
+places the lexical check goes blind:
+
+* **call returns** — a function whose name carries no suffix but whose
+  ``return`` statements all return ``_mb`` values produces megabytes;
+  assigning its result to ``capacity_gb`` (or passing it to a ``_gb``
+  parameter) is the same 1024× error one hop removed.  Functions whose
+  *name* carries a suffix are additionally checked against their own
+  returns (``def peak_mb(): ... return demand_gb`` is drift at the
+  definition);
+* **local chains** — ``x = demand_mb`` launders the suffix off the
+  value; a later ``capacity_gb = x`` is invisible to REPRO105 but not
+  to a one-pass local environment.
+
+Callees are resolved through the project semantic model (import
+aliases, ``self.``/``cls.`` methods, annotation-typed parameters,
+``var = ClassName()`` locals), so the check crosses module boundaries.
+
+The suffix vocabulary also grows beyond REPRO105's set with the
+time/energy units this codebase threads through the experiment layer:
+``_hours``, ``_days``, ``_kwh``, ``_wh`` (matched case-insensitively,
+so imported ``EVAL_DAYS``-style constants participate).  Flows where
+both units are in REPRO105's set *and* both ends are lexically visible
+are skipped — REPRO105 already owns those — so each mixup is reported
+exactly once.  As everywhere, arithmetic carries no suffix, which
+exempts explicit conversions (``interval_hours / 24.0``).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.devtools.asthelpers import UNIT_SUFFIXES, terminal_name
+from repro.devtools.context import Module, Project
+from repro.devtools.findings import Finding
+from repro.devtools.registry import Rule, register
+from repro.devtools.semantics import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    SemanticModel,
+)
+
+#: Units REPRO105 does not track; REPRO112 checks these even in direct,
+#: lexically visible flows.
+EXTENDED_SUFFIXES = ("hours", "days", "kwh", "wh")
+
+_ALL_SUFFIXES = tuple(
+    sorted(UNIT_SUFFIXES + EXTENDED_SUFFIXES, key=len, reverse=True)
+)
+_SUFFIX_RE = re.compile(r"_(%s)$" % "|".join(_ALL_SUFFIXES), re.IGNORECASE)
+_BASE = frozenset(UNIT_SUFFIXES)
+
+#: How a unit was established for a value expression.
+_LEXICAL = "lexical"  #: visible in the terminal identifier (REPRO105 sees it)
+_CHAIN = "chain"  #: carried through a local assignment
+_RETURN = "return"  #: inferred from a callee's return statements
+
+
+def unit_of(name: Optional[str]) -> Optional[str]:
+    """Extended-vocabulary unit suffix of ``name``, lowercased."""
+    if not name:
+        return None
+    match = _SUFFIX_RE.search(name)
+    return match.group(1).lower() if match else None
+
+
+class _Value:
+    """A value expression's inferred unit and how we know it."""
+
+    __slots__ = ("unit", "kind", "desc")
+
+    def __init__(self, unit: str, kind: str, desc: str) -> None:
+        self.unit = unit
+        self.kind = kind
+        self.desc = desc
+
+
+@register
+class UnitFlowRule(Rule):
+    rule_id = "REPRO112"
+    name = "unit-flow"
+    rationale = (
+        "unit suffixes must survive call returns and local assignment "
+        "chains, and the _hours/_days/_kwh/_wh time-energy units follow "
+        "the same discipline as REPRO105's set"
+    )
+
+    def __init__(self) -> None:
+        self._computed_for: Optional[int] = None
+        self._by_rel: Dict[str, List[Finding]] = {}
+        self._return_units: Dict[str, Tuple[str, bool]] = {}
+
+    def check(self, module: Module, project: Project) -> Iterator[Finding]:
+        model = project.semantics
+        if model is None:
+            return
+        if self._computed_for != id(project):
+            self._by_rel = self._analyze(model)
+            self._computed_for = id(project)
+        yield from self._by_rel.get(module.rel, [])
+
+    # ------------------------------------------------------------------
+    # phase A: per-function return units (whole project, before any check)
+
+    def _analyze(self, model: SemanticModel) -> Dict[str, List[Finding]]:
+        self._return_units = {}
+        for fn in model.functions.values():
+            inferred = self._infer_return_unit(fn)
+            if inferred is not None:
+                self._return_units[fn.key] = inferred
+        findings: Dict[str, List[Finding]] = {}
+        for info in sorted(model.by_rel.values(), key=lambda i: i.rel):
+            found = list(self._check_module(model, info))
+            if found:
+                findings[info.rel] = found
+        return findings
+
+    def _infer_return_unit(
+        self, fn: FunctionInfo
+    ) -> Optional[Tuple[str, bool]]:
+        """``(unit, from_name)`` for a function, if one can be pinned.
+
+        The function's own name suffix wins; otherwise the unit is
+        inferred when every unit-bearing ``return`` agrees.
+        """
+        name_unit = unit_of(fn.name)
+        if name_unit is not None:
+            return name_unit, True
+        seen = set()
+        for ret in _own_returns(fn.node):
+            unit = unit_of(terminal_name(ret.value)) if ret.value else None
+            if unit is not None:
+                seen.add(unit)
+        if len(seen) == 1:
+            return next(iter(seen)), False
+        return None
+
+    # ------------------------------------------------------------------
+    # phase B: per-scope flow checking
+
+    def _check_module(
+        self, model: SemanticModel, info: ModuleInfo
+    ) -> Iterator[Finding]:
+        yield from self._check_scope(model, info, info.module.tree, None, None)
+        for fn in info.functions.values():
+            yield from self._check_scope(model, info, fn.node, fn, None)
+        for cls in info.classes.values():
+            for method in cls.methods.values():
+                yield from self._check_scope(
+                    model, info, method.node, method, cls
+                )
+
+    def _check_scope(
+        self,
+        model: SemanticModel,
+        info: ModuleInfo,
+        scope: ast.AST,
+        fn: Optional[FunctionInfo],
+        cls: Optional[ClassInfo],
+    ) -> Iterator[Finding]:
+        units: Dict[str, _Value] = {}  #: local name → carried unit
+        instances: Dict[str, str] = (
+            model.annotation_env(info, fn, cls) if fn is not None else {}
+        )
+        fn_unit = unit_of(fn.name) if fn is not None else None
+        for node in _scope_nodes(scope):
+            if isinstance(node, (ast.Assign, ast.AnnAssign)):
+                yield from self._check_assign(
+                    model, info, cls, units, instances, node
+                )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(
+                    model, info, cls, units, instances, node
+                )
+            elif isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub)
+            ):
+                yield from self._check_pairing(
+                    info, units, node, node.left, node.right,
+                    "added/subtracted with",
+                )
+            elif isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                for left, right in zip(operands, operands[1:]):
+                    yield from self._check_pairing(
+                        info, units, node, left, right, "compared with"
+                    )
+            elif isinstance(node, ast.Return) and fn_unit is not None:
+                value = (
+                    self._value_of(model, info, cls, units, instances, node.value)
+                    if node.value is not None
+                    else None
+                )
+                if value is not None and value.unit != fn_unit:
+                    yield self._finding(
+                        info,
+                        node,
+                        f"{fn.qualname}() is suffixed '_{fn_unit}' but "
+                        f"returns {value.desc} (unit '{value.unit}'); "
+                        "convert explicitly or rename the function",
+                    )
+
+    def _check_assign(
+        self, model, info, cls, units, instances, node
+    ) -> Iterator[Finding]:
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        if node.value is None:
+            return
+        value = self._value_of(model, info, cls, units, instances, node.value)
+        # Track var = ClassName(...) for later method resolution.
+        if isinstance(node.value, ast.Call):
+            resolved = _resolve_chain(model, info, cls, instances, node.value.func)
+            if resolved is not None and resolved[0] == "class":
+                for target in targets:
+                    if isinstance(target, ast.Name):
+                        instances[target.id] = resolved[1]
+        for target in targets:
+            target_name = terminal_name(target)
+            target_unit = unit_of(target_name)
+            if (
+                target_unit is not None
+                and value is not None
+                and value.unit != target_unit
+                and not _owned_by_105(value, target_unit)
+            ):
+                yield self._finding(
+                    info,
+                    node,
+                    f"assigning {value.desc} (unit '{value.unit}') to "
+                    f"'{target_name}' (unit '{target_unit}'); convert "
+                    "explicitly",
+                )
+            if isinstance(target, ast.Name):
+                if target_unit is None and value is not None:
+                    units[target.id] = _Value(
+                        value.unit, _CHAIN, f"'{target.id}' ({value.desc})"
+                    )
+                else:
+                    units.pop(target.id, None)
+
+    def _check_call(
+        self, model, info, cls, units, instances, node: ast.Call
+    ) -> Iterator[Finding]:
+        callee = _resolve_callable(model, info, cls, instances, node.func)
+        if callee is None:
+            return
+        params = callee.positional
+        if params[:1] in (("self",), ("cls",)):
+            params = params[1:]
+        slots: List[Tuple[str, ast.expr]] = []
+        for index, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred) or index >= len(params):
+                break
+            slots.append((params[index], arg))
+        kw_params = set(params) | set(callee.kwonly)
+        for keyword in node.keywords:
+            if keyword.arg is not None and keyword.arg in kw_params:
+                slots.append((keyword.arg, keyword.value))
+        for param, arg in slots:
+            param_unit = unit_of(param)
+            if param_unit is None:
+                continue
+            value = self._value_of(model, info, cls, units, instances, arg)
+            if (
+                value is not None
+                and value.unit != param_unit
+                and not _owned_by_105(value, param_unit)
+            ):
+                yield self._finding(
+                    info,
+                    node,
+                    f"passing {value.desc} (unit '{value.unit}') to "
+                    f"parameter '{param}' of {callee.qualname}() (unit "
+                    f"'{param_unit}'); convert explicitly",
+                )
+
+    def _check_pairing(
+        self, info, units, node, left, right, verb
+    ) -> Iterator[Finding]:
+        sides = []
+        for operand in (left, right):
+            name = terminal_name(operand)
+            if isinstance(operand, ast.Name) and operand.id in units:
+                carried = units[operand.id]
+                sides.append((carried.desc, carried.unit, carried.kind))
+            else:
+                sides.append((f"'{name}'", unit_of(name), _LEXICAL))
+        (left_desc, left_unit, left_kind) = sides[0]
+        (right_desc, right_unit, right_kind) = sides[1]
+        if left_unit is None or right_unit is None or left_unit == right_unit:
+            return
+        if (
+            left_kind == _LEXICAL
+            and right_kind == _LEXICAL
+            and left_unit in _BASE
+            and right_unit in _BASE
+        ):
+            return  # REPRO105 reports this one
+        yield self._finding(
+            info,
+            node,
+            f"{left_desc} (unit '{left_unit}') {verb} {right_desc} "
+            f"(unit '{right_unit}'); convert explicitly",
+        )
+
+    # ------------------------------------------------------------------
+
+    def _value_of(
+        self, model, info, cls, units, instances, node: ast.expr
+    ) -> Optional[_Value]:
+        """Inferred unit of a value expression, or None (no opinion)."""
+        if isinstance(node, ast.Name):
+            if node.id in units:
+                return units[node.id]
+            unit = unit_of(node.id)
+            return _Value(unit, _LEXICAL, f"'{node.id}'") if unit else None
+        if isinstance(node, ast.Attribute):
+            unit = unit_of(node.attr)
+            return _Value(unit, _LEXICAL, f"'{node.attr}'") if unit else None
+        if isinstance(node, ast.Call):
+            callee = _resolve_callable(model, info, cls, instances, node.func)
+            if callee is not None and callee.key in self._return_units:
+                unit, from_name = self._return_units[callee.key]
+                kind = _LEXICAL if from_name else _RETURN
+                desc = (
+                    f"the result of {callee.qualname}()"
+                    if from_name
+                    else f"the result of {callee.qualname}() (its returns "
+                    f"carry '_{unit}')"
+                )
+                return _Value(unit, kind, desc)
+            name = terminal_name(node.func)
+            unit = unit_of(name)
+            return (
+                _Value(unit, _LEXICAL, f"the result of {name}()")
+                if unit
+                else None
+            )
+        return None
+
+    def _finding(self, info: ModuleInfo, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            path=info.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message,
+        )
+
+
+def _owned_by_105(value: _Value, slot_unit: str) -> bool:
+    """True when REPRO105 already reports this exact flow."""
+    return (
+        value.kind == _LEXICAL
+        and value.unit in _BASE
+        and slot_unit in _BASE
+    )
+
+
+def _resolve_chain(
+    model: SemanticModel,
+    info: ModuleInfo,
+    cls: Optional[ClassInfo],
+    instances: Dict[str, str],
+    node: ast.AST,
+) -> Optional[Tuple[str, str]]:
+    """Resolve a Name/Attribute chain to ``(kind, key)`` in this scope."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    parts.reverse()
+    head = parts[0]
+    if cls is not None and head in ("self", "cls") and len(parts) == 2:
+        method = model.class_method(cls, parts[1])
+        return ("function", method.key) if method is not None else None
+    if head in instances:
+        if len(parts) == 2:
+            target = model.classes.get(instances[head])
+            if target is not None:
+                method = model.class_method(target, parts[1])
+                if method is not None:
+                    return ("function", method.key)
+        return None
+    resolved = model.resolve_dotted(info, parts)
+    if resolved is None:
+        return None
+    return resolved.kind, resolved.key
+
+
+def _resolve_callable(
+    model: SemanticModel,
+    info: ModuleInfo,
+    cls: Optional[ClassInfo],
+    instances: Dict[str, str],
+    node: ast.AST,
+) -> Optional[FunctionInfo]:
+    """The FunctionInfo a call expression invokes, constructors included."""
+    resolved = _resolve_chain(model, info, cls, instances, node)
+    if resolved is None:
+        return None
+    kind, key = resolved
+    if kind == "function":
+        return model.functions.get(key)
+    if kind == "class":
+        target = model.classes.get(key)
+        if target is not None:
+            return model.class_method(target, "__init__")
+    return None
+
+
+def _own_returns(fn_node: ast.AST) -> Iterator[ast.Return]:
+    """``return`` statements of a function, excluding nested defs."""
+    for node in _scope_nodes(fn_node):
+        if isinstance(node, ast.Return):
+            yield node
+
+
+def _scope_nodes(root: ast.AST) -> Iterator[ast.AST]:
+    """Source-order walk of one scope, not descending into nested defs.
+
+    Nested functions, lambdas, and class bodies are separate scopes
+    (and, for model-visible functions, separately checked).
+    """
+    for child in ast.iter_child_nodes(root):
+        if isinstance(
+            child,
+            (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+        ):
+            continue
+        yield child
+        yield from _scope_nodes(child)

@@ -31,8 +31,6 @@ from repro.devtools.context import Module, Project
 from repro.devtools.findings import Finding
 from repro.devtools.registry import Rule, register
 
-__all__ = ["UnitSuffixRule"]
-
 
 @register
 class UnitSuffixRule(Rule):

@@ -31,8 +31,6 @@ from repro.devtools.context import Module, Project
 from repro.devtools.findings import Finding
 from repro.devtools.registry import Rule, register
 
-__all__ = ["VectorizedKernelRule"]
-
 _SCOPED_PACKAGES = ("emulator", "placement", "core", "sizing")
 _TRACE_COLLECTION_NAMES = frozenset({"traces", "trace_set", "_traces"})
 

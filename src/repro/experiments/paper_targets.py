@@ -16,7 +16,6 @@ from __future__ import annotations
 from typing import Mapping, Tuple
 
 __all__ = [
-    "Band",
     "CPU_COV_HEAVY_TAILED_FRACTION",
     "CPU_P2A_MEDIAN_1H",
     "MEMORY_COV_HEAVY_TAILED_FRACTION",

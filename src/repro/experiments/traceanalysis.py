@@ -26,7 +26,6 @@ from repro.workloads.datacenters import ALL_DATACENTERS, generate_datacenter
 from repro.workloads.trace import TraceSet
 
 __all__ = [
-    "Fig1Sample",
     "sample_bursty_servers",
     "table2_summary",
     "burstiness_by_datacenter",

@@ -37,11 +37,6 @@ from repro.workloads.datacenters import (
 from repro.workloads.trace import TraceSet
 
 __all__ = [
-    "KIND_TRACE_SET",
-    "KIND_COMPARISON",
-    "KIND_SENSITIVITY",
-    "KIND_FIGURE",
-    "KIND_PLANNING_RUN",
     "settings_params",
     "settings_from_params",
     "trace_task",

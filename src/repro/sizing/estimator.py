@@ -32,7 +32,7 @@ from repro.sizing.functions import BodyTailSizing, MaxSizing, SizingFunction
 from repro.sizing.network import DiskDemandModel, NetworkDemandModel
 from repro.workloads.trace import ServerTrace, TraceSet
 
-__all__ = ["VirtualizationOverhead", "SizeEstimator", "DemandTable"]
+__all__ = ["VirtualizationOverhead", "SizeEstimator"]
 
 
 def _split_matrix(

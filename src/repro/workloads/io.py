@@ -27,7 +27,7 @@ from repro.infrastructure.server import ServerSpec
 from repro.infrastructure.vm import VirtualMachine
 from repro.workloads.trace import ResourceTrace, ServerTrace, TraceSet
 
-__all__ = ["save_trace_set", "load_trace_set", "FORMAT_VERSION"]
+__all__ = ["save_trace_set", "load_trace_set"]
 
 FORMAT_VERSION = 1
 

@@ -1,0 +1,1 @@
+"""Drifted engine/reference pair (REPRO110 violating fixture)."""

@@ -1,0 +1,13 @@
+"""Vectorized engine that has drifted from its reference."""
+
+
+class ArrayPacker:
+    # default drifted: 0.9 vs the reference's 0.8
+    def pack(self, demand_mb, capacity_mb, bound=0.9):
+        return [d <= c * bound for d, c in zip(demand_mb, capacity_mb)]
+
+    # residual() has no counterpart here: drift
+
+
+def predict_peak_matrix(history, window=12):  # "horizon" renamed: drift
+    return [max(row[-window:]) for row in history]

@@ -1,0 +1,12 @@
+"""Pairing manifest naming the drifted fixture pair."""
+
+PARITY_MANIFEST = (
+    {
+        "reference": "r110_parity.reference:ScalarPacker",
+        "engine": "r110_parity.engine:ArrayPacker",
+    },
+    {
+        "reference": "r110_parity.reference:predict_peak",
+        "engine": "r110_parity.engine:predict_peak_matrix",
+    },
+)

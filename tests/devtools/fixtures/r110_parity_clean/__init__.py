@@ -1,0 +1,1 @@
+"""In-sync engine/reference pair (REPRO110 clean fixture)."""

@@ -1,0 +1,13 @@
+"""Vectorized engine matching its reference's public surface."""
+
+
+class ArrayPacker:
+    def pack(self, demand_mb, capacity_mb, indices, bound=0.8):
+        return [demand_mb[i] <= capacity_mb[i] * bound for i in indices]
+
+    def residuals(self, capacity_mb, used_mb, indices):
+        return [capacity_mb[i] - used_mb[i] for i in indices]
+
+
+def predict_peak_matrix(history, horizon=12):
+    return [max(row[-horizon:]) for row in history]

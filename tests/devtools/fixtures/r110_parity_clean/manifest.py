@@ -1,0 +1,14 @@
+"""Pairing manifest for the in-sync fixture pair."""
+
+PARITY_MANIFEST = (
+    {
+        "reference": "r110_parity_clean.reference:ScalarPacker",
+        "engine": "r110_parity_clean.engine:ArrayPacker",
+        "methods": {"residual": ["residuals"]},
+        "engine_extra": ["indices"],
+    },
+    {
+        "reference": "r110_parity_clean.reference:predict_peak",
+        "engine": "r110_parity_clean.engine:predict_peak_matrix",
+    },
+)

@@ -1,0 +1,13 @@
+"""Scalar reference side, kept in sync with the engine."""
+
+
+class ScalarPacker:
+    def pack(self, demand_mb, capacity_mb, bound=0.8):
+        return demand_mb <= capacity_mb * bound
+
+    def residual(self, capacity_mb, used_mb):
+        return capacity_mb - used_mb
+
+
+def predict_peak(history, horizon=12):
+    return max(history[-horizon:])

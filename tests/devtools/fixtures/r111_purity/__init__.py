@@ -1,0 +1,1 @@
+"""Impure task executors (REPRO111 violating fixture)."""

@@ -1,0 +1,27 @@
+"""Helpers reachable from the task entry point; all four impurities."""
+
+import os
+import time
+
+import numpy as np
+
+_CALLS = 0
+
+
+def load_demand(params):
+    started = time.time()
+    scale = float(os.environ.get("DEMAND_SCALE", "1.0"))
+    values = [v * scale for v in params["values"]]
+    return values, started
+
+
+def summarize(demand):
+    global _CALLS
+    _CALLS = _CALLS + 1
+    jitter = float(np.random.rand())
+    return sum(demand[0]) + jitter
+
+
+def untimed_report():
+    # Impure but unreachable from any task entry point: not reported.
+    return time.ctime()

@@ -1,0 +1,10 @@
+"""Task entry point whose helpers are impure."""
+
+from r111_purity import helpers
+from r111_purity.registry import register_task_kind
+
+
+@register_task_kind("fixture-task")
+def run_fixture_task(params, ctx):
+    demand = helpers.load_demand(params)
+    return helpers.summarize(demand)

@@ -1,0 +1,1 @@
+"""Pure task executors (REPRO111 clean fixture)."""

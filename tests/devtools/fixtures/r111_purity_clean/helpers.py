@@ -1,0 +1,23 @@
+"""Helpers reachable from the task entry point; all pure."""
+
+import os
+import time
+
+_ENV_KEY = "REPRO_FIXTURE_SCALE"
+
+
+def load_demand(params):
+    # Sanctioned: REPRO_* configuration reads stay out of cache keys by
+    # design, both as a literal and through a module constant.
+    scale = float(os.environ.get(_ENV_KEY, "1.0"))
+    floor = float(os.environ.get("REPRO_FIXTURE_FLOOR", "0.0"))
+    return [max(v * scale, floor) for v in params["values"]]
+
+
+def summarize(demand):
+    return sum(demand)
+
+
+def wall_clock_banner():
+    # Impure, but unreachable from the task entry point: fine.
+    return time.ctime()

@@ -1,0 +1,10 @@
+"""Task entry point whose helpers stay pure."""
+
+from r111_purity_clean import helpers
+from r111_purity_clean.registry import register_task_kind
+
+
+@register_task_kind("fixture-task")
+def run_fixture_task(params, ctx):
+    demand = helpers.load_demand(params)
+    return helpers.summarize(demand)

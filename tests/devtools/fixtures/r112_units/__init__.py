@@ -1,0 +1,1 @@
+"""Unit flow breaks through calls/chains (REPRO112 violating)."""

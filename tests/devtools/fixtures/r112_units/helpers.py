@@ -1,0 +1,10 @@
+"""Helpers whose returns carry (or betray) unit suffixes."""
+
+
+def read_demand(trace):
+    total_mb = sum(trace)
+    return total_mb
+
+
+def capacity_gb(server):
+    return server.capacity_mb

@@ -1,0 +1,20 @@
+"""Callers mixing units through returns and local chains."""
+
+from r112_units.helpers import read_demand
+
+
+def plan(trace, host):
+    demand_gb = read_demand(trace)
+    staged = read_demand(trace)
+    budget_gb = staged
+    window_hours = host.window_days
+    return demand_gb + budget_gb + window_hours
+
+
+def allocate(amount_gb):
+    return amount_gb
+
+
+def drive(trace):
+    demand = read_demand(trace)
+    return allocate(demand)

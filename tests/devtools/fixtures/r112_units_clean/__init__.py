@@ -1,0 +1,1 @@
+"""Unit flow with explicit conversions (REPRO112 clean)."""

@@ -1,0 +1,8 @@
+"""Helpers with honest unit suffixes."""
+
+MB_PER_GB = 1024.0
+
+
+def read_demand_mb(trace):
+    total_mb = sum(trace)
+    return total_mb

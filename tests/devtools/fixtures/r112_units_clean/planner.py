@@ -1,0 +1,19 @@
+"""Callers converting explicitly at every unit boundary."""
+
+from r112_units_clean.helpers import MB_PER_GB, read_demand_mb
+
+
+def plan(trace, host):
+    demand_mb = read_demand_mb(trace)
+    demand_gb = demand_mb / MB_PER_GB
+    window_hours = host.window_days * 24.0
+    return (demand_gb, window_hours)
+
+
+def allocate(amount_gb):
+    return amount_gb
+
+
+def drive(trace):
+    demand_mb = read_demand_mb(trace)
+    return allocate(demand_mb / MB_PER_GB)

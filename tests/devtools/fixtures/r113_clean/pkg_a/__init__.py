@@ -1,0 +1,5 @@
+"""Package re-exporting its consumed symbol."""
+
+from pkg_a.metrics import live_metric
+
+__all__ = ["live_metric"]

@@ -1,0 +1,7 @@
+"""Every export has a consumer."""
+
+__all__ = ["live_metric"]
+
+
+def live_metric(values):
+    return sum(values) / len(values)

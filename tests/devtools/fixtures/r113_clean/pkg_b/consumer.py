@@ -1,0 +1,7 @@
+"""Consumes everything pkg_a exports."""
+
+from pkg_a import live_metric
+
+
+def run(values):
+    return live_metric(values)

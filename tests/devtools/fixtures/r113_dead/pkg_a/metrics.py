@@ -1,0 +1,11 @@
+"""One live export, one dead one."""
+
+__all__ = ["live_metric", "dead_metric"]
+
+
+def live_metric(values):
+    return sum(values) / len(values)
+
+
+def dead_metric(values):
+    return max(values)

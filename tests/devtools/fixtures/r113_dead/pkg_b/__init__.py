@@ -1,0 +1,3 @@
+"""Consumer package."""
+
+from pkg_b.consumer import run

@@ -1,0 +1,13 @@
+"""Uses the live export; advertises a dead one of its own."""
+
+from pkg_a import live_metric
+
+__all__ = ["run", "unused_helper"]
+
+
+def run(values):
+    return live_metric(values)
+
+
+def unused_helper(values):
+    return min(values)

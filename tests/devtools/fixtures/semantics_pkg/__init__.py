@@ -1,0 +1,5 @@
+"""Mini-package exercised by the semantic-model tests."""
+
+from semantics_pkg.alpha import Engine
+
+__all__ = ["Engine"]

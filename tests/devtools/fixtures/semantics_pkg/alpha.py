@@ -1,0 +1,16 @@
+"""Defines the class/function surface the model must index."""
+
+LIMIT_MB = 4096.0
+
+
+class Engine:
+    def run(self, workload):
+        prepared = self.prepare(workload)
+        return score(prepared)
+
+    def prepare(self, workload):
+        return sorted(workload)
+
+
+def score(items):
+    return sum(items)

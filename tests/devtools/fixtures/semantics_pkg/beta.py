@@ -1,0 +1,17 @@
+"""Imports alpha under aliases; drives the call graph."""
+
+from semantics_pkg.alpha import Engine as Eng
+from semantics_pkg import alpha as core
+
+
+def build(workload):
+    engine = Eng()
+    return engine.run(workload)
+
+
+def limit():
+    return core.LIMIT_MB
+
+
+def drive(engine: Eng, workload):
+    return engine.run(workload)

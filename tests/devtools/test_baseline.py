@@ -56,7 +56,7 @@ def test_cli_write_then_apply_baseline(tmp_path: Path, capsys):
 
     assert main([str(module), "--write-baseline", str(baseline_file)]) == 0
     payload = json.loads(baseline_file.read_text())
-    assert payload["version"] == 1
+    assert payload["version"] == 2
     assert sum(
         count for rules in payload["entries"].values() for count in rules.values()
     ) == 1
@@ -66,6 +66,22 @@ def test_cli_write_then_apply_baseline(tmp_path: Path, capsys):
     assert capsys.readouterr().out == ""
 
     assert main([str(module)]) == 1  # without the baseline it still fails
+
+
+def test_version_1_baselines_still_load(tmp_path: Path):
+    """Format 2 changed the path convention, not the schema, so files
+    written before the bump must keep working unmodified."""
+    module = tmp_path / "module.py"
+    module.write_text(_VIOLATION)
+    findings = lint_paths([module])
+
+    baseline_file = tmp_path / "baseline.json"
+    baseline_file.write_text(
+        json.dumps(
+            {"version": 1, "entries": {findings[0].path: {"REPRO101": 1}}}
+        )
+    )
+    assert apply_baseline(findings, load_baseline(baseline_file)) == []
 
 
 def test_cli_rejects_malformed_baseline(tmp_path: Path, capsys):

@@ -1,10 +1,12 @@
 """CLI contract: output format, exit codes, rule selection."""
 
+import json
 import re
+import subprocess
 from pathlib import Path
 
 from repro.devtools import all_rules
-from repro.devtools.cli import main
+from repro.devtools.cli import changed_paths, main
 
 _REPORT_LINE = re.compile(r"^.+:\d+:\d+ REPRO\d{3} .+$")
 
@@ -65,3 +67,75 @@ def test_statistics_prints_per_rule_counts(fixtures_dir: Path, capsys):
     )
     assert exit_code == 1
     assert re.search(r"^\s+4 REPRO102$", capsys.readouterr().out, re.M)
+
+
+def test_json_format_carries_the_finding_fields(fixtures_dir: Path, capsys):
+    bad = fixtures_dir / "r102_mutable_default.py"
+    assert main([str(bad), "--format", "json"]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert len(payload) == 4
+    for entry in payload:
+        assert entry["rule_id"] == "REPRO102"
+        assert entry["line"] > 0 and entry["col"] >= 0
+        assert entry["message"]
+
+
+def test_sarif_format_is_valid_and_indexes_rules(fixtures_dir: Path, capsys):
+    bad = fixtures_dir / "r102_mutable_default.py"
+    assert main([str(bad), "--format", "sarif"]) == 1
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["version"] == "2.1.0"
+    run = sarif["runs"][0]
+    rule_ids = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {cls.rule_id for cls in all_rules()} <= rule_ids
+    assert len(run["results"]) == 4
+    for result in run["results"]:
+        region = result["locations"][0]["physicalLocation"]["region"]
+        assert region["startLine"] > 0 and region["startColumn"] > 0
+
+
+def test_output_writes_the_report_to_a_file(
+    fixtures_dir: Path, tmp_path: Path, capsys
+):
+    report = tmp_path / "report.json"
+    bad = fixtures_dir / "r102_mutable_default.py"
+    assert main([str(bad), "--format", "json", "--output", str(report)]) == 1
+    assert capsys.readouterr().out == ""
+    assert len(json.loads(report.read_text())) == 4
+
+
+def test_changed_outside_git_reports_everything(
+    fixtures_dir: Path, tmp_path: Path, capsys, monkeypatch
+):
+    """Without a merge base the filter must fail open, not silent."""
+    monkeypatch.chdir(tmp_path)  # tmp_path is not a git checkout
+    bad = tmp_path / "module.py"
+    bad.write_text(
+        (fixtures_dir / "r102_mutable_default.py").read_text()
+    )
+    assert main([str(bad), "--changed"]) == 1
+    captured = capsys.readouterr()
+    assert "could not determine a merge base" in captured.err
+    assert "REPRO102" in captured.out
+
+
+def test_changed_paths_sees_new_files_in_a_fresh_repo(
+    tmp_path: Path, monkeypatch
+):
+    def git(*args):
+        subprocess.run(
+            ["git", *args], cwd=tmp_path, check=True, capture_output=True
+        )
+
+    git("init", "--initial-branch", "main")
+    git("config", "user.email", "lint@example.invalid")
+    git("config", "user.name", "lint")
+    (tmp_path / "committed.py").write_text("x = 1\n")
+    git("add", "committed.py")
+    git("commit", "-m", "seed")
+    (tmp_path / "fresh.py").write_text("y = 2\n")
+
+    monkeypatch.chdir(tmp_path)
+    changed = changed_paths()
+    assert changed is not None
+    assert "fresh.py" in changed and "committed.py" not in changed

@@ -28,6 +28,24 @@ def test_shipped_tree_is_clean_even_with_an_empty_baseline(tmp_path, capsys):
     capsys.readouterr()
 
 
+def test_whole_tree_passes_the_interprocedural_gate(capsys):
+    """The second CI gate: the whole-program rules (engine parity,
+    cache purity, unit flow, dead exports) hold across src + tests +
+    examples + benchmarks with no baseline."""
+    exit_code = main(
+        [
+            str(SRC),
+            str(REPO_ROOT / "tests"),
+            str(REPO_ROOT / "examples"),
+            str(REPO_ROOT / "benchmarks"),
+            "--select",
+            "REPRO110,REPRO111,REPRO112,REPRO113",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert exit_code == 0, f"interprocedural gate found violations:\n{out}"
+
+
 def test_lint_paths_visits_the_whole_library():
     # Guard against discovery silently narrowing (e.g. a glob change
     # dropping subpackages): linting src/repro must parse at least the

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.experiments.sensitivity import run_sensitivity
+from repro.experiments.sensitivity import run_sensitivity, run_sensitivity_all
 from repro.experiments.settings import ExperimentSettings
 
 
@@ -49,3 +49,14 @@ class TestSensitivity:
     def test_rows_sorted_by_bound(self, banking_sweep):
         bounds = [r["utilization_bound"] for r in banking_sweep.rows()]
         assert bounds == sorted(bounds)
+
+
+class TestSensitivityGrid:
+    def test_run_sensitivity_all_keys_results_by_datacenter(self):
+        grid = run_sensitivity_all(
+            ExperimentSettings(scale=0.08),
+            bounds=(0.8, 1.0),
+            datacenters=["banking"],
+        )
+        assert set(grid) == {"banking"}
+        assert set(grid["banking"].dynamic_servers_by_bound) == {0.8, 1.0}

@@ -4,6 +4,7 @@ import pytest
 
 from repro.exceptions import ConfigurationError
 from repro.experiments.settings import (
+    DEFAULT_SCALE_ENV,
     UTILIZATION_BOUND_SWEEP,
     ExperimentSettings,
     default_scale,
@@ -37,18 +38,18 @@ class TestTable3Defaults:
 
 class TestScale:
     def test_env_scale(self, monkeypatch):
-        monkeypatch.setenv("REPRO_SCALE", "0.5")
+        monkeypatch.setenv(DEFAULT_SCALE_ENV, "0.5")
         assert default_scale() == 0.5
 
     def test_env_default(self, monkeypatch):
-        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        monkeypatch.delenv(DEFAULT_SCALE_ENV, raising=False)
         assert default_scale() == 0.25
 
     def test_bad_env_rejected(self, monkeypatch):
-        monkeypatch.setenv("REPRO_SCALE", "lots")
+        monkeypatch.setenv(DEFAULT_SCALE_ENV, "lots")
         with pytest.raises(ConfigurationError):
             default_scale()
-        monkeypatch.setenv("REPRO_SCALE", "-1")
+        monkeypatch.setenv(DEFAULT_SCALE_ENV, "-1")
         with pytest.raises(ConfigurationError):
             default_scale()
 
