@@ -6,7 +6,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: lint lint-changed test check list-rules bench-smoke bench-baseline golden-regen
+.PHONY: lint lint-changed test check list-rules bench-smoke bench-baseline golden-regen soak
 
 # Two lint gates: every rule on the library, then the whole-program
 # rules (engine parity, cache purity, unit flow, dead exports) across
@@ -43,6 +43,13 @@ bench-smoke:
 bench-baseline:
 	$(PYTHON) benchmarks/bench_kernels.py --out BENCH_kernels.json
 	$(PYTHON) benchmarks/bench_planners.py --out BENCH_planners.json
+
+# Full soak of the online consolidation controller: 10k streamed
+# updates through ingest → replan with fault injection, asserting
+# bounded memory and bounded replan scope.  A scaled smoke variant of
+# the same invariants runs in tier-1 on every `make test`.
+soak:
+	REPRO_SOAK=1 $(PYTHON) -m pytest tests/service/test_soak.py -q
 
 # Re-pin the golden regression fixtures after an intentional change;
 # review the JSON diff like any other code change.

@@ -6,6 +6,7 @@ from repro.core.base import (
     PlanningContext,
 )
 from repro.core.dynamic import DynamicConsolidation
+from repro.core.incremental import HostCapacities, IncrementalPlan
 from repro.core.planner import ConsolidationPlanner, split_window
 from repro.core.powercap import PowerBudgetedConsolidation
 from repro.core.semistatic import SemiStaticConsolidation
@@ -16,6 +17,8 @@ __all__ = [
     "ConsolidationAlgorithm",
     "ConsolidationPlanner",
     "DynamicConsolidation",
+    "HostCapacities",
+    "IncrementalPlan",
     "PlanningConfig",
     "PlanningContext",
     "PowerBudgetedConsolidation",

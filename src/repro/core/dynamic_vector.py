@@ -9,9 +9,10 @@ while replacing its per-VM object churn with columnar kernels:
   (:func:`~repro.sizing.prediction.build_peak_table`) pushed through
   :meth:`~repro.sizing.estimator.SizeEstimator.estimate_matrix`, so the
   per-interval loop only reads columns;
-* the sticky FFD pack keeps per-host running totals in flat float lists
-  carried across intervals (the delta-pack state) instead of rebuilding
-  ``Bin`` objects 360 times;
+* the sticky FFD pack keeps its per-host running totals in an
+  :class:`~repro.core.incremental.IncrementalPlan` carried across
+  intervals (the delta-pack state, shared with the online controller in
+  :mod:`repro.service`) instead of rebuilding ``Bin`` objects 360 times;
 * vacate sweeps score sources and candidates with vectorized
   residual / idle-power / migration-cost arrays and fall back to exact
   scalar folds only on the short candidate prefix each VM actually
@@ -21,8 +22,9 @@ Exactness contract (see ``docs/PERFORMANCE.md``): every float the
 reference computes is recomputed here by the *same* IEEE-754 operations
 in the *same* order — elementwise numpy ops mirror scalar arithmetic
 exactly, comparisons use the identical ``capacity + 1e-9`` slack, and
-all per-host accumulations replay the reference's left folds.  The only
-reference behaviours intentionally *not* replayed are pure
+all per-host accumulations replay the reference's left folds (the
+plan's append-fold discipline, :meth:`IncrementalPlan.assign`).  The
+only reference behaviours intentionally *not* replayed are pure
 no-state-change shortcuts (skipping a vacate attempt whose cost gate or
 first, largest VM already fails — outcomes the reference also discards).
 Dynamic sizing is :class:`~repro.sizing.functions.MaxSizing`, so every
@@ -36,11 +38,12 @@ object is passed in), keeping the dispatch one-directional.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from repro.core.base import PlanningContext
+from repro.core.incremental import HostCapacities, IncrementalPlan
 from repro.emulator.schedule import PlacementSchedule
 from repro.exceptions import PlacementError
 from repro.placement.binpacking import _no_fit_error
@@ -59,33 +62,16 @@ _SLACK = 1e-9
 
 
 class _HostArrays:
-    """Canonical per-host capacity/cost arrays, fixed for a whole plan."""
+    """Host objects, capacity vectors, and idle power, fixed per plan."""
 
     def __init__(self, algorithm: "DynamicConsolidation", context) -> None:
         hosts = list(context.datacenter.hosts)
-        if not hosts:
-            raise PlacementError("no hosts to pack onto")
-        bound = context.config.utilization_bound
+        self.caps = HostCapacities(
+            hosts, context.config.utilization_bound
+        )
         self.hosts = hosts
-        self.host_ids = [h.host_id for h in hosts]
-        self.n = len(hosts)
-        # Bin.for_host capacities (bound-scaled), as python floats.
-        self.cap_cpu = [h.cpu_rpe2 * bound for h in hosts]
-        self.cap_mem = [h.memory_gb * bound for h in hosts]
-        self.cap_net = [h.spec.network_mbps * bound for h in hosts]
-        self.cap_dsk = [h.spec.disk_mbps * bound for h in hosts]
-        # fits() compares against capacity + 1e-9; precomputing the sum
-        # reproduces the same float the reference derives per call.
-        self.eps_cpu = [c + _SLACK for c in self.cap_cpu]
-        self.eps_mem = [c + _SLACK for c in self.cap_mem]
-        self.eps_net = [c + _SLACK for c in self.cap_net]
-        self.eps_dsk = [c + _SLACK for c in self.cap_dsk]
-        self.cap_cpu_np = np.array(self.cap_cpu)
-        self.cap_mem_np = np.array(self.cap_mem)
-        self.eps_cpu_np = np.array(self.eps_cpu)
-        self.eps_mem_np = np.array(self.eps_mem)
-        self.eps_net_np = np.array(self.eps_net)
-        self.eps_dsk_np = np.array(self.eps_dsk)
+        self.host_ids = self.caps.host_ids
+        self.n = self.caps.n
         self.idle_watts = [algorithm._idle_watts(h) for h in hosts]
 
 
@@ -147,30 +133,22 @@ def plan_dynamic_array(
     prev_active: Optional[List[bool]] = None
     bound = context.config.utilization_bound
     for interval in range(n_intervals):
-        state = _pack_interval(
+        plan, order, appearance = _pack_interval(
             table, interval, host_arrays, id_rank,
             prev_rows, prev_active, vm_ids, bound,
         )
-        _vacate_intervals_hosts(algorithm, context, host_arrays, state)
+        _vacate_intervals_hosts(
+            algorithm, context, host_arrays, plan, appearance
+        )
         assignment = {
-            vm_ids[row]: host_arrays.host_ids[state.assignment_rows[row]]
-            for row in state.order
+            vm_ids[row]: host_arrays.host_ids[plan.assignment_rows[row]]
+            for row in order
         }
         placements.append(Placement(assignment=assignment))
-        prev_rows = state.assignment_rows
-        prev_active = [bool(rows) for rows in state.vm_rows_of_host]
+        prev_rows = plan.assignment_rows
+        prev_active = [bool(rows) for rows in plan.vm_rows_of_host]
     return PlacementSchedule.periodic(
         placements, context.config.interval_hours
-    )
-
-
-class _IntervalState:
-    """One interval's mutable packing state (bodies, rows, appearance)."""
-
-    __slots__ = (
-        "interval", "order", "assignment_rows", "vm_rows_of_host",
-        "body_cpu", "body_mem", "body_net", "body_dsk",
-        "appearance", "cpu", "mem", "net", "dsk", "vm_ids",
     )
 
 
@@ -183,13 +161,16 @@ def _pack_interval(
     prev_active: Optional[List[bool]],
     vm_ids: List[str],
     utilization_bound: float,
-) -> _IntervalState:
+) -> Tuple[IncrementalPlan, List[int], List[int]]:
     """Sticky FFD pack of one interval column, delta from ``prev_rows``.
 
     Replays ``pack(..., strategy="ffd", preferred=previous.assignment)``
     exactly: per VM in FFD order, the previous host is tried first and
-    a warm-first host scan runs only for displaced VMs.
+    a warm-first host scan runs only for displaced VMs.  Returns the
+    packed :class:`IncrementalPlan`, the FFD order, and the host
+    appearance order (the vacate sweeps' bin order).
     """
+    caps = host_arrays.caps
     n_hosts = host_arrays.n
     cpu_col = table.cpu_rpe2[:, interval]
     mem_col = table.memory_gb[:, interval]
@@ -215,23 +196,29 @@ def _pack_interval(
     sufmin_cpu = np.minimum.accumulate(ordered_cpu[::-1])[::-1].tolist()
     sufmin_mem = np.minimum.accumulate(ordered_mem[::-1])[::-1].tolist()
 
-    cpu = cpu_col.tolist()
-    mem = mem_col.tolist()
-    net = table.network_mbps[:, interval].tolist()
-    dsk = table.disk_mbps[:, interval].tolist()
-    eps_cpu = host_arrays.eps_cpu
-    eps_mem = host_arrays.eps_mem
-    eps_net = host_arrays.eps_net
-    eps_dsk = host_arrays.eps_dsk
-    cap_cpu = host_arrays.cap_cpu
-    cap_mem = host_arrays.cap_mem
-
-    body_cpu = [0.0] * n_hosts
-    body_mem = [0.0] * n_hosts
-    body_net = [0.0] * n_hosts
-    body_dsk = [0.0] * n_hosts
-    vm_rows_of_host: List[List[int]] = [[] for _ in range(n_hosts)]
-    assignment_rows = [-1] * len(vm_ids)
+    plan = IncrementalPlan(
+        caps,
+        vm_ids,
+        cpu_col.tolist(),
+        mem_col.tolist(),
+        table.network_mbps[:, interval].tolist(),
+        table.disk_mbps[:, interval].tolist(),
+    )
+    cpu = plan.cpu
+    mem = plan.mem
+    net = plan.net
+    dsk = plan.dsk
+    eps_cpu = caps.eps_cpu
+    eps_mem = caps.eps_mem
+    eps_net = caps.eps_net
+    eps_dsk = caps.eps_dsk
+    cap_cpu = caps.cap_cpu
+    cap_mem = caps.cap_mem
+    body_cpu = plan.body_cpu
+    body_mem = plan.body_mem
+    body_net = plan.body_net
+    body_dsk = plan.body_dsk
+    vm_rows_of_host = plan.vm_rows_of_host
     appearance: List[int] = []
     dead = [False] * n_hosts
 
@@ -273,51 +260,29 @@ def _pack_interval(
                 raise _no_fit_error(
                     table.demand(row, interval), utilization_bound
                 )
-        rows_on_target = vm_rows_of_host[target]
-        if not rows_on_target:
+        if not vm_rows_of_host[target]:
             appearance.append(target)
-        rows_on_target.append(row)
-        body_cpu[target] += d_cpu
-        body_mem[target] += d_mem
-        body_net[target] += d_net
-        body_dsk[target] += d_dsk
-        assignment_rows[row] = target
-
-    state = _IntervalState()
-    state.interval = interval
-    state.order = order
-    state.assignment_rows = assignment_rows
-    state.vm_rows_of_host = vm_rows_of_host
-    state.body_cpu = body_cpu
-    state.body_mem = body_mem
-    state.body_net = body_net
-    state.body_dsk = body_dsk
-    state.appearance = appearance
-    state.cpu = cpu
-    state.mem = mem
-    state.net = net
-    state.dsk = dsk
-    state.vm_ids = vm_ids
-    return state
+        plan.assign(row, target)
+    return plan, order, appearance
 
 
 def _vacate_intervals_hosts(
     algorithm: "DynamicConsolidation",
     context: PlanningContext,
     host_arrays: _HostArrays,
-    state: _IntervalState,
+    plan: IncrementalPlan,
+    appearance: List[int],
 ) -> None:
     """Array-backed twin of ``DynamicConsolidation._vacate_hosts``."""
     n_hosts = host_arrays.n
-    body_cpu = state.body_cpu
-    body_mem = state.body_mem
-    vm_rows_of_host = state.vm_rows_of_host
-    bins_list = state.appearance
+    body_cpu = plan.body_cpu
+    vm_rows_of_host = plan.vm_rows_of_host
+    bins_list = appearance
     # numpy mirrors for vectorized source/candidate scoring; refreshed
     # only on commits (scalar element writes), so they always equal the
     # python-float ground truth exactly.
     body_cpu_np = np.array(body_cpu)
-    body_mem_np = np.array(body_mem)
+    body_mem_np = np.array(plan.body_mem)
     count_np = np.array(
         [len(rows) for rows in vm_rows_of_host], dtype=np.intp
     )
@@ -344,7 +309,7 @@ def _vacate_intervals_hosts(
             if not vm_rows_of_host[source] or n_bins <= 1:
                 continue
             if _try_vacate_array(
-                algorithm, host_arrays, state, source,
+                algorithm, host_arrays, plan, source,
                 apps, alive_np, count_np, body_cpu_np, body_mem_np,
                 interval_hours,
             ):
@@ -359,7 +324,7 @@ def _vacate_intervals_hosts(
 def _try_vacate_array(
     algorithm: "DynamicConsolidation",
     host_arrays: _HostArrays,
-    state: _IntervalState,
+    plan: IncrementalPlan,
     source: int,
     apps: np.ndarray,
     alive_np: np.ndarray,
@@ -377,12 +342,13 @@ def _try_vacate_array(
     mask (its pending loads are all zero).  Everything else replays the
     reference's scalar folds move by move.
     """
-    cpu = state.cpu
-    mem = state.mem
-    net = state.net
-    dsk = state.dsk
+    caps = host_arrays.caps
+    cpu = plan.cpu
+    mem = plan.mem
+    net = plan.net
+    dsk = plan.dsk
     move_rows = sorted(
-        state.vm_rows_of_host[source], key=cpu.__getitem__, reverse=True
+        plan.vm_rows_of_host[source], key=cpu.__getitem__, reverse=True
     )
 
     if algorithm.consider_migration_cost:
@@ -406,19 +372,19 @@ def _try_vacate_array(
     first = move_rows[0]
     fit0 = (
         (body_cpu_np[candidates] + cpu[first]
-         <= host_arrays.eps_cpu_np[candidates])
+         <= caps.eps_cpu_np[candidates])
         & (body_mem_np[candidates] + mem[first]
-           <= host_arrays.eps_mem_np[candidates])
+           <= caps.eps_mem_np[candidates])
     )
     if net[first] or dsk[first]:
-        body_net_np = np.array(state.body_net)
-        body_dsk_np = np.array(state.body_dsk)
+        body_net_np = np.array(plan.body_net)
+        body_dsk_np = np.array(plan.body_dsk)
         fit0 &= (
             body_net_np[candidates] + net[first]
-            <= host_arrays.eps_net_np[candidates]
+            <= caps.eps_net_np[candidates]
         ) & (
             body_dsk_np[candidates] + dsk[first]
-            <= host_arrays.eps_dsk_np[candidates]
+            <= caps.eps_dsk_np[candidates]
         )
     if not fit0.any():
         return False
@@ -426,23 +392,23 @@ def _try_vacate_array(
     # Fullest-first candidate order: min normalized slack, stable on
     # appearance — the reference's sorted(..., key=residual).
     residual = np.minimum(
-        (host_arrays.cap_cpu_np[candidates] - body_cpu_np[candidates])
-        / host_arrays.cap_cpu_np[candidates],
-        (host_arrays.cap_mem_np[candidates] - body_mem_np[candidates])
-        / host_arrays.cap_mem_np[candidates],
+        (caps.cap_cpu_np[candidates] - body_cpu_np[candidates])
+        / caps.cap_cpu_np[candidates],
+        (caps.cap_mem_np[candidates] - body_mem_np[candidates])
+        / caps.cap_mem_np[candidates],
     )
     cand_order = np.lexsort((np.arange(candidates.size), residual))
     cand = candidates[cand_order].tolist()
     fit0_ordered = fit0[cand_order]
 
-    body_cpu = state.body_cpu
-    body_mem = state.body_mem
-    body_net = state.body_net
-    body_dsk = state.body_dsk
-    eps_cpu = host_arrays.eps_cpu
-    eps_mem = host_arrays.eps_mem
-    eps_net = host_arrays.eps_net
-    eps_dsk = host_arrays.eps_dsk
+    body_cpu = plan.body_cpu
+    body_mem = plan.body_mem
+    body_net = plan.body_net
+    body_dsk = plan.body_dsk
+    eps_cpu = caps.eps_cpu
+    eps_mem = caps.eps_mem
+    eps_net = caps.eps_net
+    eps_dsk = caps.eps_dsk
     # Pending loads per candidate host: exact left folds in move order,
     # matching the reference's per-check recomputation.
     pend_cpu: Dict[int, float] = {}
@@ -501,8 +467,6 @@ def _try_vacate_array(
     # Commit: sequential per-move adds with the reference's re-check
     # (Bin.add validates against the *committed* state, whose folds can
     # differ from body + pending in the last ulp).
-    vm_rows_of_host = state.vm_rows_of_host
-    assignment_rows = state.assignment_rows
     for row, target in moves:
         d_cpu = cpu[row]
         d_mem = mem[row]
@@ -515,23 +479,14 @@ def _try_vacate_array(
             and body_dsk[target] + d_dsk <= eps_dsk[target]
         ):
             raise PlacementError(
-                f"{state.vm_ids[row]} does not fit on "
+                f"{plan.vm_ids[row]} does not fit on "
                 f"{host_arrays.host_ids[target]}"
             )
-        body_cpu[target] += d_cpu
-        body_mem[target] += d_mem
-        body_net[target] += d_net
-        body_dsk[target] += d_dsk
-        vm_rows_of_host[target].append(row)
-        assignment_rows[row] = target
+        plan.assign(row, target)
         body_cpu_np[target] = body_cpu[target]
         body_mem_np[target] = body_mem[target]
         count_np[target] += 1
-    body_cpu[source] = 0.0
-    body_mem[source] = 0.0
-    body_net[source] = 0.0
-    body_dsk[source] = 0.0
-    vm_rows_of_host[source] = []
+    plan.clear_host(source)
     body_cpu_np[source] = 0.0
     body_mem_np[source] = 0.0
     count_np[source] = 0

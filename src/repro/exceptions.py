@@ -19,6 +19,7 @@ __all__ = [
     "PlacementError",
     "ConstraintViolation",
     "EmulationError",
+    "ServiceError",
 ]
 
 
@@ -56,3 +57,13 @@ class ConstraintViolation(PlacementError):
 
 class EmulationError(ReproError):
     """The consolidation emulator was driven with inconsistent inputs."""
+
+
+class ServiceError(ReproError):
+    """The online consolidation service was driven with invalid input.
+
+    Raised for malformed protocol requests and controller misuse; the
+    server maps it to an error *response* rather than a dropped
+    connection, and the controller's event loop treats it as a
+    recoverable per-cycle fault.
+    """

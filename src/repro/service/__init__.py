@@ -1,0 +1,60 @@
+"""Online consolidation service: streaming ingest + incremental replan.
+
+The batch planners in :mod:`repro.core` answer "given 720 h of history,
+what is the best schedule?".  This package answers the production
+question the ROADMAP's north star poses: monitoring samples stream in
+continuously, and placement decisions must come back at interactive
+latency with *bounded* per-update work.  It follows OpenStack Neat's
+four-subproblem decomposition — underload detection, overload
+detection, VM selection, placement — wired into an event loop:
+
+* :class:`~repro.service.controller.ConsolidationController` — ingests
+  :class:`~repro.service.controller.MonitoringSample` streams into an
+  appendable :class:`~repro.workloads.rolling.RollingTraceStore`,
+  runs per-host detectors, and delta-repacks only the affected hosts
+  against a shared :class:`~repro.core.incremental.IncrementalPlan`.
+* :mod:`~repro.service.detectors` — threshold detectors plus a port of
+  Neat's MHOD Markov-chain overload detector.
+* :mod:`~repro.service.harness` — deterministic simulation and
+  fault-injection harness (virtual clock, scripted feeds,
+  dropped/duplicated/out-of-order updates).
+* :mod:`~repro.service.server` / ``repro-serve`` — asyncio
+  newline-delimited-JSON front-end answering placement queries while a
+  monitoring firehose streams updates.
+
+See ``docs/SERVICE.md`` for the architecture and protocol.
+"""
+
+from repro.service.clock import Clock, MonotonicClock, VirtualClock
+from repro.service.controller import (
+    ConsolidationController,
+    ControllerConfig,
+    ControllerStats,
+    CycleReport,
+    MonitoringSample,
+)
+from repro.service.detectors import (
+    MHODOverloadDetector,
+    ThresholdOverloadDetector,
+    ThresholdUnderloadDetector,
+)
+from repro.service.selection import (
+    MaximumDemandSelector,
+    MinimumMigrationTimeSelector,
+)
+
+__all__ = [
+    "Clock",
+    "ConsolidationController",
+    "ControllerConfig",
+    "ControllerStats",
+    "CycleReport",
+    "MHODOverloadDetector",
+    "MaximumDemandSelector",
+    "MinimumMigrationTimeSelector",
+    "MonitoringSample",
+    "MonotonicClock",
+    "ThresholdOverloadDetector",
+    "ThresholdUnderloadDetector",
+    "VirtualClock",
+]

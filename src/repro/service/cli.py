@@ -1,0 +1,194 @@
+"""``repro-serve``: run the online consolidation controller as a server.
+
+Builds a seeded synthetic fleet, bootstraps the controller, then
+serves the NDJSON protocol while a simulated monitoring firehose
+streams demand updates through the ingest path.  Demo / integration
+entry point — point ``nc`` at it:
+
+.. code-block:: console
+
+    $ repro-serve --port 7077 &
+    $ printf '{"op": "stats"}\n' | nc 127.0.0.1 7077
+
+See ``docs/SERVICE.md`` for the full op reference.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.infrastructure.server import PhysicalServer, ServerSpec
+from repro.service.clock import MonotonicClock
+from repro.service.controller import ConsolidationController, ControllerConfig
+from repro.service.harness import FaultInjector, FaultSpec, ScriptedFeed
+from repro.service.server import run_firehose, serve_controller
+from repro.workloads.rolling import RollingTraceStore
+
+__all__ = ["build_demo_controller", "main"]
+
+
+def build_demo_controller(
+    n_hosts: int,
+    n_vms: int,
+    seed: int,
+    *,
+    warmup_points: int = 24,
+    retention_points: int = 288,
+) -> ConsolidationController:
+    """Seeded synthetic fleet + warmed-up, bootstrapped controller."""
+    rng = np.random.default_rng(seed)
+    hosts = [
+        PhysicalServer(
+            f"host{i:03d}", ServerSpec(cpu_rpe2=1200.0, memory_gb=96.0)
+        )
+        for i in range(n_hosts)
+    ]
+    vm_ids = [f"vm{i:04d}" for i in range(n_vms)]
+    capacity_rpe2 = rng.uniform(200.0, 600.0, n_vms)
+    store = RollingTraceStore(
+        vm_ids,
+        capacity_rpe2,
+        interval_hours=1.0,
+        retention_points=retention_points,
+    )
+    base_util = rng.uniform(0.05, 0.45, n_vms)
+    cpu_util = np.clip(
+        base_util[:, None]
+        + 0.1 * rng.standard_normal((n_vms, warmup_points)),
+        0.0,
+        1.0,
+    )
+    memory_gb = np.clip(
+        rng.uniform(1.0, 8.0, n_vms)[:, None]
+        + 0.2 * rng.standard_normal((n_vms, warmup_points)),
+        0.1,
+        None,
+    )
+    store.append_samples(cpu_util, memory_gb)
+    controller = ConsolidationController(
+        hosts,
+        store,
+        config=ControllerConfig(sizing_window_points=12),
+        clock=MonotonicClock(),
+    )
+    controller.bootstrap()
+    return controller
+
+
+def _demo_feed(
+    controller: ConsolidationController, n_ticks: int, seed: int
+) -> ScriptedFeed:
+    """A scripted stream that keeps the demo fleet gently churning."""
+    rng = np.random.default_rng(seed + 1)
+    n_vms = controller.store.n_servers
+    cpu_util = np.clip(
+        rng.uniform(0.05, 0.55, (n_vms, n_ticks))
+        + 0.35 * (rng.random((n_vms, n_ticks)) < 0.05),
+        0.0,
+        1.0,
+    )
+    memory_gb = rng.uniform(1.0, 8.0, (n_vms, n_ticks))
+    return ScriptedFeed(
+        list(controller.store.vm_ids),
+        cpu_util,
+        memory_gb,
+        start_tick=controller.store.total_points,
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Online consolidation controller with a simulated "
+            "monitoring firehose (NDJSON protocol)."
+        ),
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=7077)
+    parser.add_argument("--hosts", type=int, default=8, dest="n_hosts")
+    parser.add_argument("--vms", type=int, default=24, dest="n_vms")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--tick-seconds",
+        type=float,
+        default=0.25,
+        help="firehose delay between monitoring ticks",
+    )
+    parser.add_argument(
+        "--feed-ticks",
+        type=int,
+        default=240,
+        help="length of the scripted feed (loops forever)",
+    )
+    parser.add_argument(
+        "--drop-rate", type=float, default=0.02,
+        help="firehose sample drop probability",
+    )
+    parser.add_argument(
+        "--duplicate-rate", type=float, default=0.02,
+        help="firehose sample duplication probability",
+    )
+    parser.add_argument(
+        "--delay-rate", type=float, default=0.02,
+        help="firehose sample delay probability",
+    )
+    return parser
+
+
+async def _amain(args: argparse.Namespace) -> int:
+    controller = build_demo_controller(args.n_hosts, args.n_vms, args.seed)
+    feed = _demo_feed(controller, args.feed_ticks, args.seed)
+    injector = FaultInjector(
+        FaultSpec(
+            drop_rate=args.drop_rate,
+            duplicate_rate=args.duplicate_rate,
+            delay_rate=args.delay_rate,
+            seed=args.seed,
+        )
+    )
+    server = await serve_controller(controller, args.host, args.port)
+    address = server.sockets[0].getsockname()
+    print(f"repro-serve listening on {address[0]}:{address[1]}")
+    print(
+        f"fleet: {controller.plan.n_hosts} hosts, "
+        f"{controller.plan.n_vms} VMs, seed {args.seed}"
+    )
+    print('try: printf \'{"op": "stats"}\\n\' | nc %s %s' % address[:2])
+    firehose = asyncio.ensure_future(
+        run_firehose(
+            controller,
+            feed,
+            injector=injector,
+            tick_seconds=args.tick_seconds,
+            replan_every=4,
+            repeat=True,
+        )
+    )
+    try:
+        async with server:
+            await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        firehose.cancel()
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(
+        list(argv) if argv is not None else None
+    )
+    try:
+        return asyncio.run(_amain(args))
+    except KeyboardInterrupt:
+        print("repro-serve: interrupted, shutting down")
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

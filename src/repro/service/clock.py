@@ -1,0 +1,52 @@
+"""Clock abstraction for the online controller.
+
+Every latency and deadline the service measures goes through a
+:class:`Clock`, so tests drive the controller under a
+:class:`VirtualClock` (fully deterministic, advanced explicitly by the
+simulation harness) while ``repro-serve`` runs on a
+:class:`MonotonicClock`.  Nothing in the decision path *branches* on
+wall-clock time — the clock feeds telemetry and deadline enforcement
+only — which is what keeps scripted replays reproducible.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Protocol
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Clock", "MonotonicClock", "VirtualClock"]
+
+
+class Clock(Protocol):
+    """Monotonic seconds source (virtual in tests, real in serving)."""
+
+    def now(self) -> float:
+        """Current time in seconds from an arbitrary epoch."""
+
+
+class VirtualClock:
+    """Manually advanced clock for deterministic simulation."""
+
+    def __init__(self, start_seconds: float = 0.0) -> None:
+        self._now_seconds = float(start_seconds)
+
+    def now(self) -> float:
+        return self._now_seconds
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new now."""
+        if seconds < 0:
+            raise ConfigurationError(
+                f"cannot advance a clock by {seconds} seconds"
+            )
+        self._now_seconds += seconds
+        return self._now_seconds
+
+
+class MonotonicClock:
+    """Real monotonic clock (``repro-serve``'s latency measurements)."""
+
+    def now(self) -> float:
+        return time.perf_counter()

@@ -1,0 +1,199 @@
+"""Per-host load detectors for the online controller.
+
+OpenStack Neat's decomposition gives the controller two per-host
+questions each cycle: *is this host underloaded* (vacate it and park the
+host) and *is this host overloaded* (evict VMs before the SLA breaks).
+Three detectors answer them:
+
+* :class:`ThresholdUnderloadDetector` / :class:`ThresholdOverloadDetector`
+  — the static baselines: compare the most recent utilization sample
+  against a fixed fraction of capacity.
+* :class:`MHODOverloadDetector` — a port of Neat's Markov Host Overload
+  Detection algorithm (Beloglazov & Buyya, "Managing Overloaded Hosts
+  for Dynamic Consolidation of Virtual Machines under Quality of
+  Service Constraints", TPDS 2013): discretize the host's utilization
+  history into states, estimate a Laplace-smoothed transition matrix,
+  and flag the host when the chain's *stationary* probability of the
+  overload state exceeds the permitted overload-time fraction.  Unlike
+  the threshold detector it reacts to a host that keeps *returning* to
+  saturation even when the current sample happens to be low.
+
+Detectors are pure functions of the utilization history handed to them
+— no clocks, no RNG — which is what lets the fault-injection harness
+replay scripted histories deterministically.
+
+Hand-checked fixture (pinned by ``tests/service/test_mhod.py``): the
+history ``[0.1, 0.9, 0.9, 0.1, 0.9]`` with ``threshold=0.5``,
+``n_states=2``, ``smoothing=1`` yields transition counts
+``[[0, 2], [1, 1]]``, the smoothed matrix ``[[1/4, 3/4], [1/2, 1/2]]``
+and stationary distribution ``[2/5, 3/5]`` — overload probability 0.6.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "MHODOverloadDetector",
+    "ThresholdOverloadDetector",
+    "ThresholdUnderloadDetector",
+]
+
+
+def _check_fraction(name: str, value: float) -> float:
+    if not 0.0 < value <= 1.0:
+        raise ConfigurationError(
+            f"{name} must be in (0, 1], got {value}"
+        )
+    return float(value)
+
+
+class ThresholdUnderloadDetector:
+    """Host is underloaded when its latest utilization is ≤ threshold.
+
+    The classic static policy: a host running below ``threshold`` of
+    capacity is a candidate for full vacation.  Operates on the most
+    recent sample only — history length does not matter.
+    """
+
+    def __init__(self, threshold: float = 0.3) -> None:
+        self.threshold = _check_fraction("threshold", threshold)
+
+    def detect(self, utilization: Sequence[float]) -> bool:
+        """True when the latest utilization sample is at or below the bar."""
+        if len(utilization) == 0:
+            return False
+        return float(utilization[-1]) <= self.threshold
+
+
+class ThresholdOverloadDetector:
+    """Host is overloaded when its latest utilization is ≥ threshold."""
+
+    def __init__(self, threshold: float = 0.9) -> None:
+        self.threshold = _check_fraction("threshold", threshold)
+
+    def detect(self, utilization: Sequence[float]) -> bool:
+        """True when the latest utilization sample is at or above the bar."""
+        if len(utilization) == 0:
+            return False
+        return float(utilization[-1]) >= self.threshold
+
+
+class MHODOverloadDetector:
+    """Markov-chain host overload detection (OpenStack Neat's MHOD).
+
+    Parameters
+    ----------
+    threshold:
+        Utilization at or above which a sample counts as the overload
+        state (the top state of the discretization).
+    otf_limit:
+        Permitted overload-time fraction.  The host is flagged when the
+        estimated stationary probability of the overload state exceeds
+        this limit — i.e. when, under the fitted chain, the host would
+        spend more than ``otf_limit`` of its time saturated.
+    n_states:
+        Number of discrete utilization states.  The top state is
+        ``utilization >= threshold``; the range below the threshold is
+        split into ``n_states - 1`` equal-width states.
+    smoothing:
+        Laplace pseudo-count added to every transition, so the matrix
+        stays a proper stochastic matrix (and the chain irreducible)
+        even for short histories that never visited some states.
+    min_history:
+        Minimum number of samples before the Markov estimate is
+        trusted; shorter histories fall back to the static threshold
+        test on the latest sample.
+    """
+
+    def __init__(
+        self,
+        threshold: float = 0.8,
+        otf_limit: float = 0.3,
+        n_states: int = 2,
+        smoothing: float = 1.0,
+        min_history: int = 4,
+    ) -> None:
+        self.threshold = _check_fraction("threshold", threshold)
+        self.otf_limit = _check_fraction("otf_limit", otf_limit)
+        if n_states < 2:
+            raise ConfigurationError(
+                f"n_states must be >= 2, got {n_states}"
+            )
+        if smoothing <= 0:
+            raise ConfigurationError(
+                f"smoothing must be > 0, got {smoothing}"
+            )
+        if min_history < 2:
+            raise ConfigurationError(
+                f"min_history must be >= 2, got {min_history}"
+            )
+        self.n_states = int(n_states)
+        self.smoothing = float(smoothing)
+        self.min_history = int(min_history)
+
+    def discretize(self, utilization: Sequence[float]) -> np.ndarray:
+        """Map utilization samples to state indices in ``[0, n_states)``.
+
+        State ``n_states - 1`` is the overload state (``>= threshold``);
+        the sub-threshold range is split into equal-width bins.
+        """
+        values = np.asarray(utilization, dtype=float)
+        if values.size and not np.all(np.isfinite(values)):
+            raise ConfigurationError("utilization history contains NaN/Inf")
+        low = self.n_states - 1
+        states = np.floor(
+            np.clip(values, 0.0, None) / self.threshold * low
+        ).astype(np.intp)
+        return np.minimum(states, low)
+
+    def transition_matrix(self, states: np.ndarray) -> np.ndarray:
+        """Laplace-smoothed row-stochastic transition matrix estimate."""
+        n = self.n_states
+        counts = np.full((n, n), self.smoothing, dtype=float)
+        src = np.asarray(states[:-1], dtype=np.intp)
+        dst = np.asarray(states[1:], dtype=np.intp)
+        np.add.at(counts, (src, dst), 1.0)
+        return counts / counts.sum(axis=1, keepdims=True)
+
+    def stationary_distribution(self, matrix: np.ndarray) -> np.ndarray:
+        """Stationary distribution π with ``π P = π`` and ``Σπ = 1``.
+
+        Solved as a least-squares system ``[Pᵀ - I; 1ᵀ] π = [0; 1]``;
+        Laplace smoothing keeps the chain irreducible, so the solution
+        is unique.
+        """
+        n = self.n_states
+        system = np.empty((n + 1, n), dtype=float)
+        system[:n] = matrix.T - np.eye(n)
+        system[n] = 1.0
+        rhs = np.zeros(n + 1, dtype=float)
+        rhs[n] = 1.0
+        pi, *_ = np.linalg.lstsq(system, rhs, rcond=None)
+        # Guard against least-squares round-off: clip and renormalise.
+        pi = np.clip(pi, 0.0, None)
+        return pi / pi.sum()
+
+    def overload_probability(self, utilization: Sequence[float]) -> float:
+        """Stationary probability of the overload state for a history."""
+        states = self.discretize(utilization)
+        if states.size < 2:
+            return 0.0
+        matrix = self.transition_matrix(states)
+        return float(self.stationary_distribution(matrix)[-1])
+
+    def detect(self, utilization: Sequence[float]) -> bool:
+        """True when the host should be treated as overloaded.
+
+        Short histories (fewer than ``min_history`` samples) fall back
+        to the static threshold test on the latest sample.
+        """
+        if len(utilization) == 0:
+            return False
+        if len(utilization) < self.min_history:
+            return float(utilization[-1]) >= self.threshold
+        return self.overload_probability(utilization) > self.otf_limit

@@ -1,0 +1,248 @@
+"""Deterministic simulation and fault-injection harness.
+
+Three pieces, composable and individually testable:
+
+* :class:`ScriptedFeed` — turns a ``(n_vms, n_ticks)`` demand script
+  into per-tick batches of
+  :class:`~repro.service.controller.MonitoringSample`.
+* :class:`FaultInjector` — a seeded stream mangler that drops,
+  duplicates, and delays samples.  Delayed samples are re-delivered a
+  configurable number of ticks later, which exercises both the
+  controller's out-of-order buffering (delay shorter than the flush
+  horizon) and its late-drop path (delay behind the watermark).
+* :class:`SimulationHarness` — drives a
+  :class:`~repro.service.controller.ConsolidationController` under a
+  :class:`~repro.service.clock.VirtualClock`: deliver a tick's
+  (mangled) samples, advance virtual time, replan on a fixed cadence,
+  collect every :class:`~repro.service.controller.CycleReport`.
+
+Everything is seeded (REPRO101): the same scenario and seed replay
+the same faults, the same flush order, and — because the controller's
+decision path never reads the clock — the same schedule.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, ServiceError
+from repro.service.controller import (
+    ConsolidationController,
+    CycleReport,
+    MonitoringSample,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultSpec",
+    "ScriptedFeed",
+    "SimulationHarness",
+]
+
+
+class ScriptedFeed:
+    """Per-tick monitoring batches from a scripted demand matrix."""
+
+    def __init__(
+        self,
+        vm_ids: Sequence[str],
+        cpu_util: np.ndarray,
+        memory_gb: np.ndarray,
+        start_tick: int = 0,
+    ) -> None:
+        cpu = np.asarray(cpu_util, dtype=float)
+        mem = np.asarray(memory_gb, dtype=float)
+        if cpu.shape != mem.shape or cpu.ndim != 2:
+            raise ConfigurationError(
+                "ScriptedFeed: cpu_util and memory_gb must be matching "
+                f"2-D matrices, got {cpu.shape} / {mem.shape}"
+            )
+        if cpu.shape[0] != len(vm_ids):
+            raise ConfigurationError(
+                f"ScriptedFeed: {len(vm_ids)} vm_ids but "
+                f"{cpu.shape[0]} demand rows"
+            )
+        self.vm_ids = tuple(vm_ids)
+        self.cpu_util = cpu
+        self.memory_gb = mem
+        self.start_tick = int(start_tick)
+
+    @property
+    def n_ticks(self) -> int:
+        return int(self.cpu_util.shape[1])
+
+    def tick_batch(self, index: int) -> List[MonitoringSample]:
+        """All VMs' samples for script column ``index``."""
+        if not 0 <= index < self.n_ticks:
+            raise ServiceError(
+                f"ScriptedFeed has no tick index {index}"
+            )
+        tick = self.start_tick + index
+        return [
+            MonitoringSample(
+                tick,
+                vm_id,
+                float(self.cpu_util[row, index]),
+                float(self.memory_gb[row, index]),
+            )
+            for row, vm_id in enumerate(self.vm_ids)
+        ]
+
+    def batches(self) -> Iterable[List[MonitoringSample]]:
+        for index in range(self.n_ticks):
+            yield self.tick_batch(index)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Seeded fault rates for a monitoring stream.
+
+    Rates are independent per sample.  A delayed sample is re-delivered
+    ``delay_ticks`` batches later — with the default flush-on-complete
+    policy that makes it *late* (behind the watermark) whenever its
+    tick completed without it, exercising the drop path; shorter
+    horizons exercise reordering inside the pending buffer.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    delay_rate: float = 0.0
+    delay_ticks: int = 1
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "duplicate_rate", "delay_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(
+                    f"{name} must be in [0, 1], got {value}"
+                )
+        if self.delay_ticks < 1:
+            raise ConfigurationError(
+                f"delay_ticks must be >= 1, got {self.delay_ticks}"
+            )
+
+
+class FaultInjector:
+    """Applies a :class:`FaultSpec` to per-tick sample batches."""
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self._rng = random.Random(spec.seed)
+        #: Samples held back, keyed by the batch index that releases them.
+        self._delayed: Dict[int, List[MonitoringSample]] = {}
+        self._batch_index = 0
+        self.dropped = 0
+        self.duplicated = 0
+        self.delayed = 0
+
+    def mangle(
+        self, batch: Sequence[MonitoringSample]
+    ) -> List[MonitoringSample]:
+        """One tick's batch in, the mangled delivery order out."""
+        spec = self.spec
+        rng = self._rng
+        # Samples whose delay expired are delivered *after* the current
+        # batch — out of order by construction.
+        released = self._delayed.pop(self._batch_index, [])
+        out: List[MonitoringSample] = []
+        for sample in batch:
+            if spec.drop_rate and rng.random() < spec.drop_rate:
+                self.dropped += 1
+                continue
+            if spec.delay_rate and rng.random() < spec.delay_rate:
+                release_at = self._batch_index + spec.delay_ticks
+                self._delayed.setdefault(release_at, []).append(sample)
+                self.delayed += 1
+                continue
+            out.append(sample)
+            if spec.duplicate_rate and rng.random() < spec.duplicate_rate:
+                out.append(sample)
+                self.duplicated += 1
+        out.extend(released)
+        self._batch_index += 1
+        return out
+
+    def drain(self) -> List[MonitoringSample]:
+        """Everything still held back (end-of-stream flush)."""
+        remaining = [
+            sample
+            for batch_index in sorted(self._delayed)
+            for sample in self._delayed[batch_index]
+        ]
+        self._delayed.clear()
+        return remaining
+
+
+class SimulationHarness:
+    """Replays a scripted feed through a controller deterministically.
+
+    The controller must be constructed with a
+    :class:`~repro.service.clock.VirtualClock`; the harness advances it
+    ``seconds_per_tick`` per delivered batch so latency accounting and
+    deadline behaviour replay exactly.
+    """
+
+    def __init__(
+        self,
+        controller: ConsolidationController,
+        feed: ScriptedFeed,
+        *,
+        injector: Optional[FaultInjector] = None,
+        replan_every: int = 1,
+        seconds_per_tick: float = 1.0,
+    ) -> None:
+        if replan_every < 1:
+            raise ConfigurationError(
+                f"replan_every must be >= 1, got {replan_every}"
+            )
+        if seconds_per_tick < 0:
+            raise ConfigurationError(
+                "seconds_per_tick must be >= 0, got "
+                f"{seconds_per_tick}"
+            )
+        clock = controller.clock
+        if not hasattr(clock, "advance"):
+            raise ConfigurationError(
+                "SimulationHarness needs a controller on a VirtualClock"
+            )
+        self.controller = controller
+        self.feed = feed
+        self.injector = injector
+        self.replan_every = int(replan_every)
+        self.seconds_per_tick = float(seconds_per_tick)
+        self.reports: List[CycleReport] = []
+        self.ingest_errors = 0
+
+    def _deliver(self, batch: Sequence[MonitoringSample]) -> None:
+        for sample in batch:
+            try:
+                self.controller.ingest(sample)
+            except ServiceError:
+                # Malformed samples degrade telemetry, not the loop.
+                self.ingest_errors += 1
+
+    def run(self) -> List[CycleReport]:
+        """Replay the whole feed; returns every cycle's report."""
+        for index, batch in enumerate(self.feed.batches()):
+            if self.injector is not None:
+                batch = self.injector.mangle(batch)
+            self._deliver(batch)
+            self.controller.clock.advance(self.seconds_per_tick)
+            if (index + 1) % self.replan_every == 0:
+                self.reports.append(self.controller.replan_cycle())
+        if self.injector is not None:
+            self._deliver(self.injector.drain())
+        self.controller.flush_pending()
+        self.reports.append(self.controller.replan_cycle())
+        return self.reports
+
+    def migrations(self) -> List[Tuple[str, str, str]]:
+        """All migrations across the run, in decision order."""
+        return [
+            move for report in self.reports for move in report.migrations
+        ]

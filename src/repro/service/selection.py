@@ -1,0 +1,63 @@
+"""VM selection policies: which VM leaves an overloaded host first.
+
+Neat's third subproblem.  Given an overloaded host, a selector ranks
+the VMs on it and the controller evicts them in that order until the
+host fits under its bound again.  Selectors return a full eviction
+*order* (not a single pick) so the controller can walk it without
+re-invoking the policy after every removal.
+
+Both policies are deterministic: ties break on ascending plan row, so
+a replayed stream always evicts the same VMs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+from repro.core.incremental import IncrementalPlan
+from repro.exceptions import ServiceError
+
+__all__ = [
+    "MaximumDemandSelector",
+    "MinimumMigrationTimeSelector",
+    "VMSelector",
+]
+
+
+class VMSelector(Protocol):
+    """Ranks a host's VM rows into eviction order (first leaves first)."""
+
+    def eviction_order(self, plan: IncrementalPlan, host: int) -> List[int]:
+        """Plan rows on ``host``, ordered by eviction preference."""
+
+
+def _host_rows(plan: IncrementalPlan, host: int) -> List[int]:
+    if not 0 <= host < plan.n_hosts:
+        raise ServiceError(f"no host index {host} in plan")
+    return list(plan.vm_rows_of_host[host])
+
+
+class MinimumMigrationTimeSelector:
+    """Evict the VM that is fastest to migrate (smallest memory) first.
+
+    Neat's MMT policy: live-migration time is dominated by the memory
+    footprint to copy, so evicting small-memory VMs first minimises the
+    time the host stays overloaded.
+    """
+
+    def eviction_order(self, plan: IncrementalPlan, host: int) -> List[int]:
+        rows = _host_rows(plan, host)
+        return sorted(rows, key=lambda row: (plan.mem[row], row))
+
+
+class MaximumDemandSelector:
+    """Evict the VM with the largest CPU demand first.
+
+    Frees the most CPU per migration, so the fewest VMs move — the
+    greedy complement to MMT when migration cost matters less than
+    migration count.
+    """
+
+    def eviction_order(self, plan: IncrementalPlan, host: int) -> List[int]:
+        rows = _host_rows(plan, host)
+        return sorted(rows, key=lambda row: (-plan.cpu[row], row))

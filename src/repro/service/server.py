@@ -1,0 +1,144 @@
+"""Asyncio front-end: NDJSON socket server + monitoring firehose.
+
+The server is deliberately thin: all protocol logic lives in
+:func:`repro.service.protocol.handle_request` (sync, unit-tested
+without sockets) and all decision logic in the controller.  What this
+module adds is concurrency structure:
+
+* :func:`serve_controller` — ``asyncio.start_server`` loop answering
+  one NDJSON request per line, many clients at once.
+* :func:`run_firehose` — a background task that pushes a scripted
+  feed's batches through the controller's ingest path on a fixed
+  cadence and replans periodically, simulating the monitoring
+  firehose a production deployment would wire to its telemetry bus.
+
+Both share one event loop and one controller.  Requests and firehose
+ticks interleave at await points only, and every controller entry
+point is synchronous — a placement query never observes a
+half-applied delta (and ``apply_delta``'s atomicity guards even
+exceptional paths).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Optional
+
+from repro.service.controller import (
+    ConsolidationController,
+    MonitoringSample,
+)
+from repro.service.harness import FaultInjector, ScriptedFeed
+from repro.service.protocol import handle_request
+
+__all__ = ["run_firehose", "serve_controller"]
+
+#: Oversized request lines are rejected, not buffered without bound.
+_MAX_LINE_BYTES = 1 << 16
+
+
+async def _handle_connection(
+    controller: ConsolidationController,
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+) -> None:
+    try:
+        while True:
+            try:
+                line = await reader.readline()
+            except (asyncio.LimitOverrunError, ValueError):
+                response = {"ok": False, "error": "request line too long"}
+                writer.write(json.dumps(response).encode() + b"\n")
+                await writer.drain()
+                break
+            if not line:
+                break
+            text = line.decode("utf-8", errors="replace").strip()
+            if not text:
+                continue
+            response = handle_request(controller, text)
+            writer.write(json.dumps(response).encode() + b"\n")
+            await writer.drain()
+    except (ConnectionResetError, BrokenPipeError):
+        pass
+    except asyncio.CancelledError:
+        # Server shutting down while this connection is mid-read; the
+        # close below is all the cleanup a leaf connection task needs.
+        pass
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+
+
+async def serve_controller(
+    controller: ConsolidationController,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> asyncio.base_events.Server:
+    """Start the NDJSON server; returns the listening server object.
+
+    ``port=0`` binds an ephemeral port (tests read it back from
+    ``server.sockets[0].getsockname()``).
+    """
+
+    async def connection(
+        reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        await _handle_connection(controller, reader, writer)
+
+    return await asyncio.start_server(
+        connection, host, port, limit=_MAX_LINE_BYTES
+    )
+
+
+async def run_firehose(
+    controller: ConsolidationController,
+    feed: ScriptedFeed,
+    *,
+    injector: Optional[FaultInjector] = None,
+    tick_seconds: float = 0.01,
+    replan_every: int = 1,
+    repeat: bool = False,
+) -> int:
+    """Stream the feed through the controller; returns ticks delivered.
+
+    Yields to the event loop between ticks (``tick_seconds`` sleep), so
+    socket clients get answers *while* the stream is in flight — the
+    concurrency property ``tests/service/test_server.py`` pins.  With
+    ``repeat=True`` the script loops (re-numbered ticks) until the task
+    is cancelled, which is how ``repro-serve`` runs indefinitely.
+    """
+    delivered = 0
+    tick = feed.start_tick
+    while True:
+        for index in range(feed.n_ticks):
+            batch = feed.tick_batch(index)
+            # Re-number on repeat so ticks keep advancing monotonically.
+            if tick != batch[0].tick:
+                batch = [
+                    MonitoringSample(
+                        tick, s.vm_id, s.cpu_util, s.memory_gb
+                    )
+                    for s in batch
+                ]
+            if injector is not None:
+                batch = injector.mangle(batch)
+            for sample in batch:
+                controller.ingest(sample)
+            delivered += 1
+            tick += 1
+            if (index + 1) % replan_every == 0:
+                controller.replan_cycle()
+            await asyncio.sleep(tick_seconds)
+        if not repeat:
+            break
+    if injector is not None:
+        for sample in injector.drain():
+            controller.ingest(sample)
+    controller.flush_pending()
+    controller.replan_cycle()
+    return delivered

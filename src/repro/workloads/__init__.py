@@ -28,6 +28,7 @@ from repro.workloads.generator import (
     generate_trace_set,
 )
 from repro.workloads.io import load_trace_set, save_trace_set
+from repro.workloads.rolling import RollingTraceStore
 from repro.workloads.store import TraceStore
 from repro.workloads.trace import (
     HOURS_PER_DAY,
@@ -52,6 +53,7 @@ __all__ = [
     "NATURAL_RESOURCES",
     "OLIO_MODEL",
     "ResourceTrace",
+    "RollingTraceStore",
     "SCHEDULED_BATCH",
     "STEADY_BATCH",
     "STUDY_DAYS",

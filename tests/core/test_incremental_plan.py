@@ -1,0 +1,262 @@
+"""Incremental replanning == replanning from scratch, bit for bit.
+
+The controller's correctness rests on one invariant: a plan mutated by
+*any* sequence of ``apply_delta`` / ``set_demand`` calls is bitwise
+identical to a plan rebuilt from scratch (``from_assignment``) over the
+same demands and assignment.  Canonical folds (ascending row order)
+make the float accumulators order-independent of the *history* of
+mutations — so drift can never accumulate in a long-running controller.
+
+The suite drives random update sequences (seeded sweep always; driven
+wider by hypothesis when available) and asserts exact equality after
+every step, plus the atomicity contract: a delta that fails mid-way
+restores the plan byte for byte.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.incremental import HostCapacities, IncrementalPlan
+from repro.exceptions import PlacementError
+from repro.infrastructure.server import PhysicalServer, ServerSpec
+
+try:
+    from hypothesis import given, settings, strategies as st
+
+    HAVE_HYPOTHESIS = True
+except ImportError:  # pragma: no cover - environment without hypothesis
+    HAVE_HYPOTHESIS = False
+
+
+def _fleet(n_hosts: int, cpu_rpe2: float = 1000.0, memory_gb: float = 64.0):
+    return [
+        PhysicalServer(
+            f"h{i}", ServerSpec(cpu_rpe2=cpu_rpe2, memory_gb=memory_gb)
+        )
+        for i in range(n_hosts)
+    ]
+
+
+def _capture(plan: IncrementalPlan):
+    return (
+        list(plan.assignment_rows),
+        [list(rows) for rows in plan.vm_rows_of_host],
+        list(plan.body_cpu),
+        list(plan.body_mem),
+        list(plan.body_net),
+        list(plan.body_dsk),
+        list(plan.cpu),
+        list(plan.mem),
+    )
+
+
+def _assert_bitwise_equal(a: IncrementalPlan, b: IncrementalPlan):
+    # Plain == on float lists is exact equality — no tolerance anywhere.
+    assert a.assignment_rows == b.assignment_rows
+    assert a.vm_rows_of_host == b.vm_rows_of_host
+    assert a.body_cpu == b.body_cpu
+    assert a.body_mem == b.body_mem
+    assert a.body_net == b.body_net
+    assert a.body_dsk == b.body_dsk
+
+
+def _rebuild(plan: IncrementalPlan) -> IncrementalPlan:
+    return IncrementalPlan.from_assignment(
+        plan.caps,
+        plan.vm_ids,
+        plan.cpu,
+        plan.mem,
+        plan.assignment(),
+        plan.net,
+        plan.dsk,
+    )
+
+
+def _random_plan(
+    rng: random.Random, n_hosts: int, n_vms: int
+) -> IncrementalPlan:
+    caps = HostCapacities(_fleet(n_hosts), utilization_bound=0.9)
+    vm_ids = [f"vm{i}" for i in range(n_vms)]
+    cpu = [rng.uniform(10.0, 200.0) for _ in range(n_vms)]
+    mem = [rng.uniform(0.5, 8.0) for _ in range(n_vms)]
+    plan = IncrementalPlan(caps, vm_ids, cpu, mem)
+    for row, vm_id in enumerate(vm_ids):
+        targets = list(range(n_hosts))
+        rng.shuffle(targets)
+        for host in targets:
+            if plan.fits(row, host):
+                plan.apply_delta([vm_id], [caps.host_ids[host]])
+                break
+    return plan
+
+
+def _random_mutations(
+    rng: random.Random, plan: IncrementalPlan, n_ops: int
+) -> None:
+    """Drive a random op sequence; failed deltas are part of the test."""
+    caps = plan.caps
+    for _ in range(n_ops):
+        op = rng.random()
+        if op < 0.4:
+            vm_id = rng.choice(plan.vm_ids)
+            plan.set_demand(
+                vm_id, rng.uniform(10.0, 400.0), rng.uniform(0.5, 12.0)
+            )
+        else:
+            n_movers = rng.randint(1, min(3, plan.n_vms))
+            movers = rng.sample(plan.vm_ids, n_movers)
+            targets = [
+                None
+                if rng.random() < 0.2
+                else rng.choice(caps.host_ids)
+                for _ in movers
+            ]
+            before = _capture(plan)
+            try:
+                plan.apply_delta(movers, targets)
+            except PlacementError:
+                # Atomicity: the failed delta restored everything.
+                assert _capture(plan) == before
+
+
+def _check_incremental_equals_rebuild(
+    n_hosts: int, n_vms: int, n_ops: int, seed: int
+) -> None:
+    rng = random.Random(seed)
+    plan = _random_plan(rng, n_hosts, n_vms)
+    _assert_bitwise_equal(plan, _rebuild(plan))
+    for _ in range(4):
+        _random_mutations(rng, plan, n_ops)
+        _assert_bitwise_equal(plan, _rebuild(plan))
+
+
+class TestIncrementalEqualsRebuild:
+    def test_seeded_sweep(self):
+        rng = random.Random(20260808)
+        for _ in range(20):
+            _check_incremental_equals_rebuild(
+                n_hosts=rng.randint(2, 6),
+                n_vms=rng.randint(1, 12),
+                n_ops=rng.randint(1, 15),
+                seed=rng.randint(0, 10_000),
+            )
+
+    if HAVE_HYPOTHESIS:
+
+        @settings(max_examples=40, deadline=None)
+        @given(
+            n_hosts=st.integers(2, 5),
+            n_vms=st.integers(1, 10),
+            n_ops=st.integers(1, 12),
+            seed=st.integers(0, 2**20),
+        )
+        def test_hypothesis(self, n_hosts, n_vms, n_ops, seed):
+            _check_incremental_equals_rebuild(n_hosts, n_vms, n_ops, seed)
+
+
+class TestApplyDelta:
+    def _two_host_plan(self):
+        caps = HostCapacities(
+            _fleet(2, cpu_rpe2=100.0, memory_gb=100.0),
+            utilization_bound=1.0,
+        )
+        plan = IncrementalPlan(
+            caps,
+            ["a", "b", "c"],
+            [60.0, 60.0, 10.0],
+            [1.0, 1.0, 1.0],
+        )
+        plan.apply_delta(["a", "b", "c"], ["h0", "h1", "h0"])
+        return plan
+
+    def test_move_and_evict(self):
+        plan = self._two_host_plan()
+        touched = plan.apply_delta(["c", "a"], ["h1", None])
+        assert touched == [0, 1]
+        assert plan.host_of("a") is None
+        assert plan.host_of("c") == "h1"
+        assert plan.body_cpu[0] == 0.0
+        assert plan.body_cpu[1] == 70.0
+
+    def test_failed_delta_restores_everything(self):
+        plan = self._two_host_plan()
+        before = _capture(plan)
+        # "c" fits on h1, but "a" (60) cannot join it (60+60+10 > 100):
+        # the whole delta must roll back, including c's successful move.
+        with pytest.raises(PlacementError):
+            plan.apply_delta(["c", "a"], ["h1", "h1"])
+        assert _capture(plan) == before
+
+    def test_swap_within_one_delta(self):
+        # Movers are pulled off first, so a pairwise swap that would
+        # deadlock under move-at-a-time admission succeeds in one delta.
+        plan = self._two_host_plan()
+        plan.apply_delta(["a", "b"], ["h1", "h0"])
+        assert plan.host_of("a") == "h1"
+        assert plan.host_of("b") == "h0"
+
+    def test_duplicate_mover_rejected(self):
+        plan = self._two_host_plan()
+        before = _capture(plan)
+        with pytest.raises(PlacementError):
+            plan.apply_delta(["a", "a"], ["h1", "h1"])
+        assert _capture(plan) == before
+
+    def test_mismatched_lengths_rejected(self):
+        plan = self._two_host_plan()
+        with pytest.raises(PlacementError):
+            plan.apply_delta(["a"], ["h1", "h0"])
+
+    def test_unknown_ids_rejected(self):
+        plan = self._two_host_plan()
+        with pytest.raises(PlacementError):
+            plan.apply_delta(["nope"], ["h1"])
+        with pytest.raises(PlacementError):
+            plan.apply_delta(["a"], ["nope"])
+
+
+class TestQueries:
+    def test_affected_hosts(self):
+        caps = HostCapacities(_fleet(3), utilization_bound=0.9)
+        plan = IncrementalPlan(
+            caps, ["a", "b", "c"], [10.0, 10.0, 10.0], [1.0, 1.0, 1.0]
+        )
+        plan.apply_delta(["a", "b"], ["h2", "h0"])
+        assert plan.affected_hosts(["a", "b", "c"]) == [0, 2]
+        assert plan.affected_hosts(["c"]) == []
+        assert plan.active_hosts() == [0, 2]
+        assert plan.assignment() == {"a": "h2", "b": "h0"}
+
+    def test_set_demand_refolds_only_placed_hosts(self):
+        caps = HostCapacities(_fleet(2), utilization_bound=0.9)
+        plan = IncrementalPlan(
+            caps, ["a", "b"], [10.0, 20.0], [1.0, 2.0]
+        )
+        plan.apply_delta(["a"], ["h0"])
+        plan.set_demand("a", 50.0, 3.0)
+        assert plan.body_cpu[0] == 50.0
+        assert plan.body_mem[0] == 3.0
+        # Unassigned VM: demand recorded, no body touched.
+        plan.set_demand("b", 99.0, 9.0)
+        assert plan.body_cpu == [50.0, 0.0]
+        with pytest.raises(PlacementError):
+            plan.set_demand("a", -1.0, 1.0)
+
+    def test_copy_is_independent(self):
+        rng = random.Random(5)
+        plan = _random_plan(rng, 3, 6)
+        clone = plan.copy()
+        _assert_bitwise_equal(plan, clone)
+        before = _capture(plan)
+        _random_mutations(rng, clone, 10)
+        assert _capture(plan) == before
+
+    def test_capacities_validation(self):
+        with pytest.raises(PlacementError):
+            HostCapacities([], utilization_bound=0.9)
+        caps = HostCapacities(_fleet(2), utilization_bound=0.5)
+        assert caps.cap_cpu == [500.0, 500.0]
+        assert caps.eps_cpu[0] == 500.0 + 1e-9

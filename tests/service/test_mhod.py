@@ -1,0 +1,170 @@
+"""MHOD Markov overload detector vs hand-computed fixtures.
+
+The chain math is small enough to verify by hand.  For the history
+``[0.1, 0.9, 0.9, 0.1, 0.9]`` with ``threshold=0.5``, ``n_states=2``:
+
+* states: ``[0, 1, 1, 0, 1]``
+* raw transition counts: ``[[0, 2], [1, 1]]``
+* Laplace-smoothed (α=1) row-stochastic matrix:
+  ``[[1/4, 3/4], [1/2, 1/2]]``
+* stationary distribution: solve ``π P = π`` → ``π = [2/5, 3/5]``
+
+so the overload probability is exactly 0.6.  A metamorphic
+monotonicity property backs the fixture: for a 2-state chain whose
+history ends in the overload state, appending another overload sample
+adds a 1→1 transition, which can only shift row 1's mass away from
+the 1→0 exit — the stationary overload probability never decreases.
+"""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.service.detectors import (
+    MHODOverloadDetector,
+    ThresholdOverloadDetector,
+    ThresholdUnderloadDetector,
+)
+
+FIXTURE_HISTORY = [0.1, 0.9, 0.9, 0.1, 0.9]
+
+
+@pytest.fixture
+def detector() -> MHODOverloadDetector:
+    return MHODOverloadDetector(
+        threshold=0.5,
+        otf_limit=0.5,
+        n_states=2,
+        smoothing=1.0,
+        min_history=4,
+    )
+
+
+class TestHandFixture:
+    def test_discretize(self, detector):
+        np.testing.assert_array_equal(
+            detector.discretize(FIXTURE_HISTORY), [0, 1, 1, 0, 1]
+        )
+
+    def test_transition_matrix(self, detector):
+        states = detector.discretize(FIXTURE_HISTORY)
+        matrix = detector.transition_matrix(states)
+        np.testing.assert_array_equal(
+            matrix, [[0.25, 0.75], [0.5, 0.5]]
+        )
+
+    def test_stationary_distribution(self, detector):
+        pi = detector.stationary_distribution(
+            np.array([[0.25, 0.75], [0.5, 0.5]])
+        )
+        assert pi[0] == pytest.approx(0.4, abs=1e-12)
+        assert pi[1] == pytest.approx(0.6, abs=1e-12)
+        assert pi.sum() == pytest.approx(1.0, abs=1e-12)
+
+    def test_overload_probability(self, detector):
+        assert detector.overload_probability(
+            FIXTURE_HISTORY
+        ) == pytest.approx(0.6, abs=1e-12)
+
+    def test_detect_uses_otf_limit(self, detector):
+        # π₁ = 0.6 > 0.5 → overloaded.
+        assert detector.detect(FIXTURE_HISTORY)
+        relaxed = MHODOverloadDetector(
+            threshold=0.5, otf_limit=0.7, n_states=2, min_history=4
+        )
+        assert not relaxed.detect(FIXTURE_HISTORY)
+
+
+class TestMetamorphicMonotonicity:
+    def test_appending_overload_never_decreases_probability(self):
+        rng = random.Random(20260808)
+        detector = MHODOverloadDetector(
+            threshold=0.6, otf_limit=0.3, n_states=2, min_history=4
+        )
+        checked = 0
+        for _ in range(200):
+            history = [rng.random() for _ in range(rng.randint(4, 30))]
+            history.append(rng.uniform(0.6, 1.0))  # end overloaded
+            base = detector.overload_probability(history)
+            extended = detector.overload_probability(
+                history + [rng.uniform(0.6, 1.0)]
+            )
+            assert extended >= base - 1e-12, (history, base, extended)
+            checked += 1
+        assert checked == 200
+
+    def test_raising_otf_limit_never_adds_detections(self):
+        rng = random.Random(7)
+        strict = MHODOverloadDetector(
+            threshold=0.6, otf_limit=0.2, n_states=2, min_history=4
+        )
+        lax = MHODOverloadDetector(
+            threshold=0.6, otf_limit=0.8, n_states=2, min_history=4
+        )
+        for _ in range(100):
+            history = [rng.random() for _ in range(12)]
+            if lax.detect(history):
+                assert strict.detect(history)
+
+
+class TestBehaviour:
+    def test_saturated_host_detected_and_idle_host_not(self, detector):
+        assert detector.detect([0.95] * 12)
+        assert not detector.detect([0.05] * 12)
+
+    def test_short_history_falls_back_to_threshold(self, detector):
+        assert detector.detect([0.9])
+        assert not detector.detect([0.2, 0.3])
+        assert not detector.detect([])
+
+    def test_three_state_discretization(self):
+        detector = MHODOverloadDetector(
+            threshold=0.8, otf_limit=0.3, n_states=3
+        )
+        np.testing.assert_array_equal(
+            detector.discretize([0.0, 0.39, 0.41, 0.79, 0.8, 1.0]),
+            [0, 0, 1, 1, 2, 2],
+        )
+
+    def test_transition_rows_are_stochastic(self, detector):
+        rng = random.Random(11)
+        for _ in range(20):
+            history = [rng.random() for _ in range(25)]
+            matrix = detector.transition_matrix(
+                detector.discretize(history)
+            )
+            np.testing.assert_allclose(matrix.sum(axis=1), 1.0)
+            assert np.all(matrix > 0)  # Laplace smoothing
+
+    def test_rejects_nan_history(self, detector):
+        with pytest.raises(ConfigurationError):
+            detector.discretize([0.5, float("nan")])
+
+
+class TestValidation:
+    def test_constructor_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MHODOverloadDetector(threshold=0.0)
+        with pytest.raises(ConfigurationError):
+            MHODOverloadDetector(otf_limit=1.5)
+        with pytest.raises(ConfigurationError):
+            MHODOverloadDetector(n_states=1)
+        with pytest.raises(ConfigurationError):
+            MHODOverloadDetector(smoothing=0.0)
+        with pytest.raises(ConfigurationError):
+            MHODOverloadDetector(min_history=1)
+
+    def test_threshold_detectors(self):
+        over = ThresholdOverloadDetector(threshold=0.9)
+        under = ThresholdUnderloadDetector(threshold=0.3)
+        assert over.detect([0.2, 0.9])
+        assert not over.detect([0.9, 0.2])
+        assert under.detect([0.9, 0.3])
+        assert not under.detect([0.3, 0.9])
+        assert not over.detect([]) and not under.detect([])
+        with pytest.raises(ConfigurationError):
+            ThresholdOverloadDetector(threshold=-0.1)

@@ -1,0 +1,54 @@
+"""VM selection policies: deterministic eviction orders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.incremental import HostCapacities, IncrementalPlan
+from repro.exceptions import ServiceError
+from repro.service.selection import (
+    MaximumDemandSelector,
+    MinimumMigrationTimeSelector,
+)
+
+from tests.service.conftest import build_fleet
+
+
+def _plan() -> IncrementalPlan:
+    caps = HostCapacities(build_fleet(2), utilization_bound=0.9)
+    return IncrementalPlan.from_assignment(
+        caps,
+        ["vm0", "vm1", "vm2", "vm3"],
+        cpu=[100.0, 400.0, 200.0, 400.0],
+        mem=[8.0, 2.0, 2.0, 4.0],
+        assignment={"vm0": "h0", "vm1": "h0", "vm2": "h0", "vm3": "h0"},
+    )
+
+
+class TestMinimumMigrationTime:
+    def test_smallest_memory_leaves_first(self):
+        order = MinimumMigrationTimeSelector().eviction_order(_plan(), 0)
+        # mem 2.0 ties between rows 1 and 2 → ascending row breaks it.
+        assert order == [1, 2, 3, 0]
+
+    def test_empty_host_is_empty_order(self):
+        order = MinimumMigrationTimeSelector().eviction_order(_plan(), 1)
+        assert order == []
+
+
+class TestMaximumDemand:
+    def test_largest_cpu_leaves_first(self):
+        order = MaximumDemandSelector().eviction_order(_plan(), 0)
+        # cpu 400 ties between rows 1 and 3 → ascending row breaks it.
+        assert order == [1, 3, 2, 0]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "selector",
+        [MinimumMigrationTimeSelector(), MaximumDemandSelector()],
+    )
+    @pytest.mark.parametrize("host", [-1, 2])
+    def test_unknown_host_raises(self, selector, host):
+        with pytest.raises(ServiceError):
+            selector.eviction_order(_plan(), host)

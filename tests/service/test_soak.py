@@ -1,0 +1,112 @@
+"""Soak: 10k streamed updates, bounded memory, bounded replan scope.
+
+The full soak is gated behind ``REPRO_SOAK=1`` (it streams 10 000
+samples through ingest → replan and takes tens of seconds); a scaled
+smoke variant always runs in tier-1 so the invariants themselves stay
+pinned by CI:
+
+* buffer memory stays a constant multiple of the retention window no
+  matter how many samples stream in,
+* p99 replan scope stays below the full fleet — the incremental
+  controller never degenerates into replanning everything,
+* the live plan still equals its from-scratch rebuild at the end.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.service.harness import (
+    FaultInjector,
+    FaultSpec,
+    SimulationHarness,
+)
+
+from tests.service.conftest import (
+    assert_plan_consistent,
+    build_controller,
+    scripted_feed_for,
+)
+
+
+def _run_soak(
+    n_hosts: int, n_vms: int, n_ticks: int, seed: int
+) -> dict:
+    controller = build_controller(
+        n_hosts=n_hosts,
+        n_vms=n_vms,
+        seed=seed,
+        retention_points=48,
+    )
+    rng = np.random.default_rng(seed)
+    base = rng.uniform(0.1, 0.5, n_vms)
+    drift = 0.25 * np.sin(
+        np.linspace(0.0, 20.0, n_ticks)[None, :]
+        + rng.uniform(0.0, 6.0, n_vms)[:, None]
+    )
+    spikes = 0.5 * (rng.random((n_vms, n_ticks)) < 0.03)
+    cpu_util = np.clip(base[:, None] + drift + spikes, 0.0, 1.0)
+    memory_gb = np.clip(
+        rng.uniform(1.0, 6.0, n_vms)[:, None]
+        + 0.5 * rng.standard_normal((n_vms, n_ticks)),
+        0.1,
+        None,
+    )
+    feed = scripted_feed_for(controller, cpu_util, memory_gb)
+    harness = SimulationHarness(
+        controller,
+        feed,
+        injector=FaultInjector(
+            FaultSpec(
+                drop_rate=0.02,
+                duplicate_rate=0.02,
+                delay_rate=0.02,
+                seed=seed,
+            )
+        ),
+        replan_every=4,
+    )
+    harness.run()
+    stats = controller.stats.snapshot()
+
+    # Bounded memory: the rolling buffers never exceed 2× retention,
+    # and the retained window is exact.
+    store = controller.store
+    assert store.buffer_points <= 2 * store.retention_points
+    assert store.n_points <= store.retention_points
+    assert store.total_points >= n_ticks
+    assert store.n_compactions > 0
+
+    # Bounded replan scope: p99 of touched hosts per cycle is well
+    # under the fleet size — the point of incremental replanning.
+    assert stats["replan_scope_p99"] < n_hosts
+    assert stats["replan_scope_max"] <= n_hosts
+
+    # No corruption after the whole stream.
+    assert_plan_consistent(controller)
+    assert set(controller.plan.assignment()) == set(store.vm_ids)
+    return stats
+
+
+class TestSoakSmoke:
+    def test_smoke_invariants(self):
+        # ~1.6k updates: the same invariants as the full soak at a
+        # size tier-1 can afford on every run.
+        stats = _run_soak(n_hosts=6, n_vms=16, n_ticks=100, seed=13)
+        assert stats["cycles"] >= 25
+        assert stats["samples_ingested"] > 1000
+
+
+@pytest.mark.skipif(
+    os.environ.get("REPRO_SOAK") != "1",
+    reason="full soak is opt-in: set REPRO_SOAK=1",
+)
+class TestSoakFull:
+    def test_ten_thousand_updates(self):
+        # 20 VMs × 500 ticks = 10 000 streamed samples (plus faults).
+        stats = _run_soak(n_hosts=8, n_vms=20, n_ticks=500, seed=20260808)
+        assert stats["samples_ingested"] >= 9_000
+        assert stats["cycles"] >= 125
