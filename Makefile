@@ -32,7 +32,9 @@ check: lint test
 # Exercises the parallel runner end-to-end (serial vs parallel vs
 # cache-warm over the four-datacenter sweep) without pytest-benchmark,
 # plus tiny kernel- and planner-benchmark passes that check the
-# vectorized engines still agree with their scalar references.
+# vectorized engines still agree with their scalar references and a
+# 2-shard sharded plan (chunked store, 2 pool workers) checked against
+# the unsharded array engine.
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_runner_sweep.py -q -s
 	$(PYTHON) benchmarks/bench_kernels.py --smoke

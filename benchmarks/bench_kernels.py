@@ -37,6 +37,7 @@ sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import numpy as np
 
+from conftest import peak_rss_mb, reset_peak_rss
 from repro.emulator import (
     ConsolidationEmulator,
     PlacementSchedule,
@@ -141,15 +142,25 @@ def bench_pack(traces, strategy: str, repeats: int) -> Dict[str, float]:
 def bench_assemble(traces, repeats: int) -> Dict[str, float]:
     trace_list = list(traces)
 
-    def stacked() -> np.ndarray:
-        cpu = np.vstack([t.cpu_rpe2 for t in trace_list])
+    def stacked():
+        # Per-trace reassembly of the full columnar product — the same
+        # three matrices ``TraceStore.from_traces`` builds, including
+        # the per-trace ``cpu_rpe2`` derivation (a multiply + temporary
+        # per row on this path, one broadcast multiply on the bulk one).
+        cpu_util = np.vstack([t.cpu_util.values for t in trace_list])
+        cpu_rpe2 = np.vstack([t.cpu_rpe2 for t in trace_list])
         memory = np.vstack([t.memory_gb.values for t in trace_list])
-        return cpu, memory
+        return cpu_util, cpu_rpe2, memory
 
     reference_matrices = stacked()
     store = TraceStore.from_traces(trace_list)
-    assert np.array_equal(store.cpu_rpe2, reference_matrices[0])
-    assert np.array_equal(store.memory_gb, reference_matrices[1])
+    assert np.array_equal(store.cpu_util, reference_matrices[0])
+    assert np.array_equal(store.cpu_rpe2, reference_matrices[1])
+    assert np.array_equal(store.memory_gb, reference_matrices[2])
+    # Drop the verification artifacts before timing: holding four extra
+    # (n, T) matrices inflates allocator/page-fault noise at these
+    # millisecond scales.
+    del reference_matrices, store
     return {
         "vectorized_s": _best_of(
             repeats, lambda: TraceStore.from_traces(trace_list)
@@ -162,7 +173,11 @@ def run(smoke: bool) -> Dict[str, object]:
     if smoke:
         sizes, days, repeats = [50], 3, 1
     else:
-        sizes, days, repeats = [100, 1000], 30, 3
+        # Best-of-9: these kernels run in single-digit milliseconds, so
+        # scheduler noise at best-of-3 can swing a true-tie row (e.g.
+        # pack below its auto crossover, where auto *is* the scalar
+        # path) a few percent either side of 1.0x.
+        sizes, days, repeats = [100, 1000], 30, 9
     results: List[Dict[str, object]] = []
     for n_servers in sizes:
         traces = generate_datacenter(
@@ -176,7 +191,9 @@ def run(smoke: bool) -> Dict[str, object]:
             ("assemble", lambda: bench_assemble(traces, repeats)),
         ]
         for name, runner in cases:
+            reset_peak_rss()
             timings = runner()
+            rss = peak_rss_mb()
             speedup = timings["reference_s"] / timings["vectorized_s"]
             entry = {
                 "benchmark": name,
@@ -185,13 +202,15 @@ def run(smoke: bool) -> Dict[str, object]:
                 "vectorized_s": round(timings["vectorized_s"], 6),
                 "reference_s": round(timings["reference_s"], 6),
                 "speedup": round(speedup, 2),
+                "peak_rss_mb": rss,
             }
             results.append(entry)
             print(
                 f"{name:10s} n={len(traces):5d} T={entry['n_hours']:4d}h  "
                 f"vectorized {entry['vectorized_s']:.4f}s  "
                 f"reference {entry['reference_s']:.4f}s  "
-                f"speedup {entry['speedup']:.2f}x"
+                f"speedup {entry['speedup']:.2f}x  "
+                f"rss {rss:.0f}MB"
             )
     return {
         "python": platform.python_version(),

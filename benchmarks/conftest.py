@@ -21,12 +21,56 @@ emulations instead of recomputing them.  Environment knobs:
 from __future__ import annotations
 
 import os
+import resource
 
 import pytest
 
 from repro.experiments.comparison import run_all
 from repro.experiments.settings import ExperimentSettings
 from repro.runner import ExperimentRunner, execute_cached, sensitivity_task
+
+
+def reset_peak_rss() -> None:
+    """Reset the kernel's peak-RSS watermark for this process.
+
+    Linux resets ``VmHWM`` when ``5`` is written to
+    ``/proc/self/clear_refs``; elsewhere this is a no-op and
+    :func:`peak_rss_mb` falls back to the monotone ``ru_maxrss``.
+    """
+    try:
+        with open("/proc/self/clear_refs", "w") as handle:
+            handle.write("5")
+    except OSError:
+        pass
+
+
+def peak_rss_mb() -> float:
+    """Peak resident set size of this process, in MB.
+
+    Reads ``VmHWM`` (resettable, so per-benchmark peaks are possible on
+    Linux); falls back to ``getrusage`` where ``/proc`` is unavailable.
+    """
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmHWM:"):
+                    return round(int(line.split()[1]) / 1024.0, 1)
+    except OSError:
+        pass
+    return round(
+        resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0, 1
+    )
+
+
+def children_peak_rss_mb() -> float:
+    """Largest peak RSS among reaped child processes, in MB.
+
+    Covers runner pool workers (each shard planner is a child); the
+    counter is monotone over the process's life.
+    """
+    return round(
+        resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss / 1024.0, 1
+    )
 
 
 def _bench_scale() -> float:

@@ -102,4 +102,8 @@ def coefficient_of_variation(values: np.ndarray) -> float:
     mean = values.mean()
     if mean == 0:
         return 0.0
-    return float(values.std() / mean)
+    # std(values / mean) == std(values) / mean, but squaring the
+    # normalized O(1) series cannot underflow to subnormals the way
+    # squaring a tiny-magnitude series can, so the result is
+    # scale-invariant at full double precision.
+    return float((values / mean).std())

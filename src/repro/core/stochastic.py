@@ -43,6 +43,11 @@ from repro.sizing.functions import BodyTailSizing
 
 __all__ = ["StochasticConsolidation"]
 
+#: Below this many active hosts the array engine scans candidates in
+#: Python with the exact fold directly — a handful of numpy kernel
+#: dispatches on tiny gathers costs more than the scan they replace.
+_MASK_MIN_ACTIVE = 48
+
 
 def _pooled_with(
     tails: Dict[int, float], cluster: int, extra: float, overlap: float
@@ -295,31 +300,47 @@ class StochasticConsolidation(ConsolidationAlgorithm):
     ) -> Dict[str, str]:
         """Vectorized engine (constraint-free path).
 
-        Per VM, a lower bound on every host's post-add reservation is
-        computed in a few array ops: pooled tails are at least
-        ``max(current worst cluster, updated cluster)`` because the
-        overlap term is non-negative and the float fold is monotone.
-        Hosts failing the bound (plus the exact network/disk checks)
-        can never admit the VM; survivors are verified in host order
-        with the exact single-pass :func:`_pooled_with` fold, so the
-        first verified host is exactly the reference's first fit.
+        The reference scans every host in index order per VM.  Two
+        structural facts shrink that scan without changing its answer:
+
+        * **Empty hosts are interchangeable within a capacity
+          signature.**  An empty bin's fit check depends only on its
+          (bound-scaled) capacities, so among empties sharing a spec
+          only the lowest-index one can ever be the first fit — the
+          others are skipped wholesale.  The first *fitting* empty is
+          found by checking one representative per distinct signature
+          (almost always one).
+        * **Active hosts are prefiltered with a vectorized lower
+          bound.**  Pooled tails are at least ``max(current worst
+          cluster, updated cluster)`` because the overlap term is
+          non-negative and the float fold is monotone, so hosts failing
+          the bound (plus the exact network/disk checks) can never
+          admit the VM.  Survivors are verified in host order with the
+          exact single-pass :func:`_pooled_with` fold.  Below a small
+          active count the mask costs more than it saves and a direct
+          exact scan runs instead.
+
+        The first verified active with index below the first fitting
+        empty — or that empty — is exactly the reference's first fit.
         """
+        from bisect import insort
+
         overlap = self.tail_overlap_factor
         bound = self.utilization_bound
         n_hosts = len(hosts)
         n_clusters = (
             max(cluster_of.values(), default=0) + 1 if cluster_of else 1
         )
-        cap_cpu = np.array([h.cpu_rpe2 * bound for h in hosts])
-        cap_mem = np.array([h.memory_gb * bound for h in hosts])
-        eps_cpu = cap_cpu + 1e-9
-        eps_mem = cap_mem + 1e-9
+        eps_cpu = np.array([h.cpu_rpe2 * bound for h in hosts]) + 1e-9
+        eps_mem = np.array([h.memory_gb * bound for h in hosts]) + 1e-9
         eps_net = np.array(
             [h.spec.network_mbps * bound for h in hosts]
         ) + 1e-9
         eps_dsk = np.array([h.spec.disk_mbps * bound for h in hosts]) + 1e-9
         eps_cpu_l = eps_cpu.tolist()
         eps_mem_l = eps_mem.tolist()
+        eps_net_l = eps_net.tolist()
+        eps_dsk_l = eps_dsk.tolist()
         body_cpu = np.zeros(n_hosts)
         body_mem = np.zeros(n_hosts)
         body_net = np.zeros(n_hosts)
@@ -335,31 +356,77 @@ class StochasticConsolidation(ConsolidationAlgorithm):
         tails_mem: List[Dict[int, float]] = [{} for _ in range(n_hosts)]
         body_cpu_l = [0.0] * n_hosts
         body_mem_l = [0.0] * n_hosts
+        body_net_l = [0.0] * n_hosts
+        body_dsk_l = [0.0] * n_hosts
+
+        # Empty hosts queued per capacity signature, each queue in
+        # ascending index order (host order = queue order).
+        empty_queues: Dict[tuple, List[int]] = {}
+        for index in reversed(range(n_hosts)):
+            spec = hosts[index].spec
+            signature = (
+                spec.cpu_rpe2, spec.memory_gb,
+                spec.network_mbps, spec.disk_mbps,
+            )
+            empty_queues.setdefault(signature, []).append(index)
+        # Queues were built back-to-front so the ascending pop is O(1).
+        active: List[int] = []
+        active_np = np.empty(n_hosts, dtype=np.intp)
 
         assignment: Dict[str, str] = {}
         for demand in ordered:
             cluster = cluster_of[demand.vm_id]
             d_cpu = demand.cpu_rpe2
             d_mem = demand.memory_gb
+            d_net = demand.network_mbps
+            d_dsk = demand.disk_mbps
             d_tcpu = demand.tail_cpu_rpe2
             d_tmem = demand.tail_memory_gb
-            candidate_mask = (
-                (
-                    body_cpu + d_cpu
-                    + np.maximum(worst_cpu, tail_cpu[cluster] + d_tcpu)
-                    <= eps_cpu
+
+            # The reference's fit on an empty bin reduces to capacity
+            # checks on body+tail (the fold over a one-entry tail dict
+            # is exact): the first fitting empty per signature is the
+            # queue front, and the global one is the min across them.
+            first_empty = n_hosts
+            for queue in empty_queues.values():
+                if not queue:
+                    continue
+                index = queue[-1]
+                if (
+                    index < first_empty
+                    and d_cpu + d_tcpu <= eps_cpu_l[index]
+                    and d_mem + d_tmem <= eps_mem_l[index]
+                    and d_net <= eps_net_l[index]
+                    and d_dsk <= eps_dsk_l[index]
+                ):
+                    first_empty = index
+            if len(active) >= _MASK_MIN_ACTIVE:
+                idx = active_np[: len(active)]
+                mask = (
+                    (
+                        body_cpu[idx] + d_cpu
+                        + np.maximum(
+                            worst_cpu[idx], tail_cpu[cluster, idx] + d_tcpu
+                        )
+                        <= eps_cpu[idx]
+                    )
+                    & (
+                        body_mem[idx] + d_mem
+                        + np.maximum(
+                            worst_mem[idx], tail_mem[cluster, idx] + d_tmem
+                        )
+                        <= eps_mem[idx]
+                    )
+                    & (body_net[idx] + d_net <= eps_net[idx])
+                    & (body_dsk[idx] + d_dsk <= eps_dsk[idx])
                 )
-                & (
-                    body_mem + d_mem
-                    + np.maximum(worst_mem, tail_mem[cluster] + d_tmem)
-                    <= eps_mem
-                )
-                & (body_net + demand.network_mbps <= eps_net)
-                & (body_dsk + demand.disk_mbps <= eps_dsk)
-            )
+                candidates = idx[mask].tolist()
+            else:
+                candidates = active
             target = -1
-            for index in np.flatnonzero(candidate_mask):
-                index = int(index)
+            for index in candidates:
+                if index > first_empty:
+                    break
                 pooled_cpu = _pooled_with(
                     tails_cpu[index], cluster, d_tcpu, overlap
                 )
@@ -370,16 +437,34 @@ class StochasticConsolidation(ConsolidationAlgorithm):
                 )
                 if body_mem_l[index] + d_mem + pooled_mem > eps_mem_l[index]:
                     continue
+                if candidates is active and (
+                    body_net_l[index] + d_net > eps_net_l[index]
+                    or body_dsk_l[index] + d_dsk > eps_dsk_l[index]
+                ):
+                    continue
                 target = index
                 break
+            if target < 0 and first_empty < n_hosts:
+                target = first_empty
+                spec = hosts[target].spec
+                empty_queues[
+                    (
+                        spec.cpu_rpe2, spec.memory_gb,
+                        spec.network_mbps, spec.disk_mbps,
+                    )
+                ].pop()
+                insort(active, target)
+                active_np[: len(active)] = active
             if target < 0:
                 raise _stochastic_no_fit(demand)
             body_cpu_l[target] = body_cpu_l[target] + d_cpu
             body_mem_l[target] = body_mem_l[target] + d_mem
+            body_net_l[target] = body_net_l[target] + d_net
+            body_dsk_l[target] = body_dsk_l[target] + d_dsk
             body_cpu[target] = body_cpu_l[target]
             body_mem[target] = body_mem_l[target]
-            body_net[target] += demand.network_mbps
-            body_dsk[target] += demand.disk_mbps
+            body_net[target] = body_net_l[target]
+            body_dsk[target] = body_dsk_l[target]
             new_tcpu = tails_cpu[target].get(cluster, 0.0) + d_tcpu
             new_tmem = tails_mem[target].get(cluster, 0.0) + d_tmem
             tails_cpu[target][cluster] = new_tcpu

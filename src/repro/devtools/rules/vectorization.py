@@ -6,8 +6,10 @@ vectorized demand kernels): demand matrices come from the cached
 is a scatter-add, not a per-VM Python loop.  With the planning layer
 vectorized too (batched prediction/sizing tables, array-backed repack
 and vacate sweeps), this rule guards that floor inside
-:mod:`repro.emulator`, :mod:`repro.placement`, :mod:`repro.core`, and
-:mod:`repro.sizing`:
+:mod:`repro.emulator`, :mod:`repro.placement`, :mod:`repro.core`,
+:mod:`repro.sizing`, and the sharded scale-out path
+(:mod:`repro.sharding` — blockwise demand tables and numpy reconcile
+prefilters sit on the same hot path):
 
 * no ``np.vstack`` / ``numpy.vstack`` calls — stacking per-trace arrays
   rebuilds the matrix the store already caches, one allocation per call;
@@ -31,7 +33,7 @@ from repro.devtools.context import Module, Project
 from repro.devtools.findings import Finding
 from repro.devtools.registry import Rule, register
 
-_SCOPED_PACKAGES = ("emulator", "placement", "core", "sizing")
+_SCOPED_PACKAGES = ("emulator", "placement", "core", "sizing", "sharding")
 _TRACE_COLLECTION_NAMES = frozenset({"traces", "trace_set", "_traces"})
 
 
@@ -62,9 +64,9 @@ class VectorizedKernelRule(Rule):
     rule_id = "REPRO109"
     name = "vectorize-kernels"
     rationale = (
-        "emulator, placement, core, and sizing hot paths are columnar: "
-        "per-trace Python loops and np.vstack reassembly undo the "
-        "scatter-add/TraceStore kernels"
+        "emulator, placement, core, sizing, and sharding hot paths are "
+        "columnar: per-trace Python loops and np.vstack reassembly undo "
+        "the scatter-add/TraceStore kernels"
     )
 
     def check(self, module: Module, project: Project) -> Iterator[Finding]:

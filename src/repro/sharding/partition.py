@@ -1,0 +1,218 @@
+"""Topology-driven fleet partitioning.
+
+A shard is a set of whole racks (or subnets) plus a contiguous block of
+VM rows whose total weight is proportional to the shard's host capacity.
+Keeping racks intact aligns shard boundaries with the topology the
+reconciliation pass packs within first, and contiguous VM blocks keep
+shard trace access a zero-copy row slice of the fleet store
+(:meth:`repro.workloads.store.TraceStore.rows`) — on a memory-mapped
+store, a shard worker faults in only its own rows.
+
+Everything here is deterministic: group order follows host insertion
+order, shard boundaries follow cumulative capacity, and VM blocks follow
+cumulative weight with largest-remainder boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.datacenter import Datacenter
+from repro.infrastructure.server import PhysicalServer
+
+__all__ = ["ShardSpec", "partition_fleet", "host_groups"]
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """One shard: whole topology groups plus a contiguous VM block.
+
+    Attributes
+    ----------
+    index:
+        Shard number, dense from 0 in topology order.
+    host_ids:
+        Hosts of this shard, in datacenter insertion order.
+    groups:
+        The rack (or subnet) labels the hosts came from.
+    vm_ids:
+        The shard's VM block, in fleet row order.
+    vm_start / vm_stop:
+        The block's row range ``[vm_start, vm_stop)`` in the fleet's
+        row order — shard trace access is a contiguous row slice.
+    """
+
+    index: int
+    host_ids: Tuple[str, ...]
+    groups: Tuple[str, ...]
+    vm_ids: Tuple[str, ...]
+    vm_start: int
+    vm_stop: int
+
+    def __post_init__(self) -> None:
+        if self.vm_stop - self.vm_start != len(self.vm_ids):
+            raise ConfigurationError(
+                f"shard {self.index}: vm range [{self.vm_start}, "
+                f"{self.vm_stop}) does not cover {len(self.vm_ids)} VMs"
+            )
+
+    @property
+    def n_hosts(self) -> int:
+        return len(self.host_ids)
+
+    @property
+    def n_vms(self) -> int:
+        return len(self.vm_ids)
+
+
+def host_groups(
+    datacenter: Datacenter, by: str = "rack"
+) -> List[Tuple[str, List[PhysicalServer]]]:
+    """Hosts grouped by topology label, in first-seen order.
+
+    ``by`` selects the label: ``"rack"`` or ``"subnet"``.  Hosts without
+    the label form singleton groups (they can land on either side of a
+    shard boundary without splitting real enclosures).
+    """
+    if by not in ("rack", "subnet"):
+        raise ConfigurationError(
+            f"unknown partition key {by!r}; expected 'rack' or 'subnet'"
+        )
+    groups: List[Tuple[str, List[PhysicalServer]]] = []
+    index: dict = {}
+    for host in datacenter:
+        label = host.rack if by == "rack" else host.subnet
+        if label is None:
+            groups.append((f"host:{host.host_id}", [host]))
+            continue
+        if label not in index:
+            index[label] = len(groups)
+            groups.append((label, []))
+        groups[index[label]][1].append(host)
+    return groups
+
+
+def partition_fleet(
+    vm_ids: Sequence[str],
+    datacenter: Datacenter,
+    n_shards: int,
+    *,
+    by: str = "rack",
+    vm_weights: Optional[Sequence[float]] = None,
+) -> Tuple[ShardSpec, ...]:
+    """Partition hosts and VMs into ``n_shards`` topology-aligned shards.
+
+    Host side: topology groups (whole racks/subnets) are assigned to
+    shards greedily along cumulative CPU capacity, so every shard gets a
+    contiguous run of groups with roughly ``1/n_shards`` of the fleet's
+    capacity and no group is ever split.
+
+    VM side: the VM sequence is cut into contiguous blocks whose
+    cumulative weight (default: equal weights; pass per-VM mean demand
+    for tighter balance) matches each shard's capacity share, with every
+    shard guaranteed at least one VM.
+    """
+    n_vms = len(vm_ids)
+    if n_shards < 1:
+        raise ConfigurationError(f"n_shards must be >= 1, got {n_shards}")
+    if n_vms == 0:
+        raise ConfigurationError("cannot partition zero VMs")
+    if n_shards > n_vms:
+        raise ConfigurationError(
+            f"{n_shards} shards for {n_vms} VMs; every shard needs a VM"
+        )
+    groups = host_groups(datacenter, by)
+    if n_shards > len(groups):
+        raise ConfigurationError(
+            f"{n_shards} shards but only {len(groups)} {by} groups; "
+            f"sharding never splits a {by}"
+        )
+    if vm_weights is not None and len(vm_weights) != n_vms:
+        raise ConfigurationError(
+            f"{len(vm_weights)} vm_weights for {n_vms} VMs"
+        )
+
+    group_capacity = [
+        sum(h.cpu_rpe2 for h in hosts) for _, hosts in groups
+    ]
+    total_capacity = sum(group_capacity)
+    if total_capacity <= 0:
+        raise ConfigurationError("datacenter has no CPU capacity")
+
+    # Greedy contiguous assignment of groups to shards along cumulative
+    # capacity: advance to the next shard once the running total crosses
+    # the shard's ideal boundary (while keeping one group for each shard
+    # still to come, and never leaving a shard empty).
+    shard_of_group: List[int] = []
+    shard = 0
+    cumulative = 0.0
+    assigned_current = 0
+    for position in range(len(groups)):
+        remaining_groups = len(groups) - position
+        later_shards = n_shards - 1 - shard
+        if assigned_current > 0 and later_shards > 0 and (
+            remaining_groups <= later_shards
+            or cumulative >= total_capacity * (shard + 1) / n_shards
+        ):
+            shard += 1
+            assigned_current = 0
+        shard_of_group.append(shard)
+        cumulative += group_capacity[position]
+        assigned_current += 1
+
+    shard_capacity = [0.0] * n_shards
+    for position, owner in enumerate(shard_of_group):
+        shard_capacity[owner] += group_capacity[position]
+
+    # VM boundaries: cumulative weight split proportionally to shard
+    # capacity, then forced strictly increasing so no shard is empty.
+    if vm_weights is None:
+        weights = np.ones(n_vms)
+    else:
+        weights = np.asarray(vm_weights, dtype=float)
+        if (weights < 0).any():
+            raise ConfigurationError("vm_weights must be non-negative")
+        if weights.sum() <= 0:
+            weights = np.ones(n_vms)
+    cumulative_weight = np.cumsum(weights)
+    total_weight = float(cumulative_weight[-1])
+    capacity_fractions = np.cumsum(shard_capacity) / total_capacity
+    boundaries = np.searchsorted(
+        cumulative_weight, capacity_fractions[:-1] * total_weight, side="left"
+    ) + 1
+    bounds = [0]
+    for raw in boundaries.tolist():
+        lower = bounds[-1] + 1
+        upper = n_vms - (n_shards - len(bounds))
+        bounds.append(min(max(raw, lower), upper))
+    bounds.append(n_vms)
+
+    shards = []
+    for index in range(n_shards):
+        members = [
+            position
+            for position, owner in enumerate(shard_of_group)
+            if owner == index
+        ]
+        hosts: List[str] = []
+        labels: List[str] = []
+        for position in members:
+            label, group_hosts = groups[position]
+            labels.append(label)
+            hosts.extend(h.host_id for h in group_hosts)
+        start, stop = bounds[index], bounds[index + 1]
+        shards.append(
+            ShardSpec(
+                index=index,
+                host_ids=tuple(hosts),
+                groups=tuple(labels),
+                vm_ids=tuple(vm_ids[start:stop]),
+                vm_start=start,
+                vm_stop=stop,
+            )
+        )
+    return tuple(shards)

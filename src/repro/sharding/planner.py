@@ -1,0 +1,352 @@
+"""Sharded consolidation planning.
+
+:class:`ShardedConsolidation` is a :class:`ConsolidationAlgorithm` that
+wraps any inner algorithm: it partitions the fleet along the datacenter
+topology (:func:`~repro.sharding.partition.partition_fleet`), plans each
+shard independently on its own sub-context — per-shard host scans are
+what makes planning superlinear, so ``S`` shards of ``n/S`` VMs are
+substantially cheaper than one plan of ``n`` — merges the per-interval
+placements (shards are disjoint, so the merge is a union), and finally
+runs the hierarchical reconciliation pass of
+:mod:`repro.sharding.reconcile` so the merged plan's active-host count
+stays close to the unsharded plan's.
+
+With one shard the pipeline degenerates to the inner algorithm on the
+original inputs (reconciliation is cross-shard by definition and is
+skipped), so a 1-shard plan is **bitwise identical** to the unsharded
+plan — the property the equivalence suite pins.
+
+Reconciliation needs the fleet-wide sized demand of every interval.
+For :class:`~repro.core.dynamic.DynamicConsolidation` inner planners
+that table is rebuilt here with the *same* prediction/sizing pipeline
+the shards used (all of it is per-VM-row, so the global table is
+bit-identical to the shard tables stacked) — in row blocks, so a
+memory-mapped fleet store is never materialized whole.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.base import ConsolidationAlgorithm, PlanningContext
+from repro.core.dynamic import DynamicConsolidation
+from repro.core.incremental import HostCapacities
+from repro.emulator.schedule import PlacementSchedule, ScheduledPlacement
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.datacenter import Datacenter
+from repro.placement.plan import Placement
+from repro.sharding.partition import ShardSpec, host_groups, partition_fleet
+from repro.sharding.reconcile import reconcile_assignment
+from repro.sizing.estimator import DemandTable, SizeEstimator
+from repro.sizing.functions import MaxSizing
+from repro.sizing.prediction import build_peak_table
+from repro.workloads.store import TraceStore
+
+__all__ = [
+    "ShardedConsolidation",
+    "ShardedPlanReport",
+    "build_demand_table",
+    "merge_shard_schedules",
+    "shard_context",
+]
+
+#: Row-block size for the blockwise demand-table build: large enough to
+#: amortize kernel dispatch, small enough that a 100k-row memory-mapped
+#: fleet never has more than one block's full-width slice resident.
+_TABLE_BLOCK_ROWS = 4096
+
+
+@dataclass(frozen=True)
+class ShardedPlanReport:
+    """Diagnostics of one sharded plan (exposed for benches and tests)."""
+
+    shards: Tuple[ShardSpec, ...]
+    reconcile_moves: int
+    active_hosts_before: Tuple[int, ...]
+    active_hosts_after: Tuple[int, ...]
+
+    @property
+    def n_shards(self) -> int:
+        return len(self.shards)
+
+
+def build_demand_table(
+    algorithm: DynamicConsolidation,
+    history_store: TraceStore,
+    evaluation_store: TraceStore,
+    workload_classes: Sequence[Optional[str]],
+    context: PlanningContext,
+    *,
+    block_rows: int = _TABLE_BLOCK_ROWS,
+) -> DemandTable:
+    """Fleet-wide per-interval sized demands, built in row blocks.
+
+    Reproduces the dynamic array engine's table
+    (``core/dynamic_vector.py``) bit-identically: prediction and sizing
+    are per-VM-row operations, so processing ``block_rows`` rows at a
+    time yields exactly the same floats as one whole-matrix pass —
+    while keeping peak memory at one block's history+evaluation slice
+    (the fleet store itself may be memory-mapped).
+    """
+    points = context.points_per_interval
+    history_points = history_store.n_points
+    n_intervals = context.n_intervals
+    starts = [history_points + i * points for i in range(n_intervals)]
+    estimator = SizeEstimator(
+        sizing=MaxSizing(),
+        overhead=context.config.overhead,
+        network=context.config.network,
+        disk=context.config.disk,
+    )
+    vm_ids = history_store.vm_ids
+    n_vms = len(vm_ids)
+    blocks: List[DemandTable] = []
+    for start in range(0, n_vms, block_rows):
+        stop = min(start + block_rows, n_vms)
+        cpu_full = np.hstack(
+            [
+                history_store.cpu_rpe2[start:stop],
+                evaluation_store.cpu_rpe2[start:stop],
+            ]
+        )
+        memory_full = np.hstack(
+            [
+                history_store.memory_gb[start:stop],
+                evaluation_store.memory_gb[start:stop],
+            ]
+        )
+        cpu_table = algorithm.cpu_burst_factor * build_peak_table(
+            algorithm.predictor, cpu_full, points, starts
+        )
+        memory_table = build_peak_table(
+            algorithm.predictor, memory_full, points, starts
+        )
+        blocks.append(
+            estimator.estimate_matrix(
+                vm_ids[start:stop],
+                cpu_table,
+                memory_table,
+                list(workload_classes[start:stop]),
+            )
+        )
+    if len(blocks) == 1:
+        return blocks[0]
+    return DemandTable(
+        vm_ids=vm_ids,
+        cpu_rpe2=np.concatenate([b.cpu_rpe2 for b in blocks]),
+        memory_gb=np.concatenate([b.memory_gb for b in blocks]),
+        network_mbps=np.concatenate([b.network_mbps for b in blocks]),
+        disk_mbps=np.concatenate([b.disk_mbps for b in blocks]),
+    )
+
+
+def merge_shard_schedules(
+    schedules: Sequence[PlacementSchedule],
+) -> PlacementSchedule:
+    """Union the per-shard schedules segment by segment.
+
+    Shards cover disjoint VM sets, so each segment's merged placement is
+    a plain dict union; all shard schedules must tile the evaluation
+    window identically (same segment boundaries).
+    """
+    if not schedules:
+        raise ConfigurationError("no shard schedules to merge")
+    boundaries = [
+        tuple((s.start_hour, s.end_hour) for s in schedule)
+        for schedule in schedules
+    ]
+    if len(set(boundaries)) != 1:
+        raise ConfigurationError(
+            "shard schedules tile the window differently; cannot merge"
+        )
+    segments = []
+    for index, segment in enumerate(schedules[0]):
+        assignment: Dict[str, str] = {}
+        for schedule in schedules:
+            shard_segment = schedule.segments[index]
+            overlap = assignment.keys() & shard_segment.placement.assignment.keys()
+            if overlap:
+                raise ConfigurationError(
+                    f"shards overlap on VMs {sorted(overlap)[:3]}"
+                )
+            assignment.update(shard_segment.placement.assignment)
+        segments.append(
+            ScheduledPlacement(
+                placement=Placement(assignment=assignment),
+                start_hour=segment.start_hour,
+                end_hour=segment.end_hour,
+            )
+        )
+    return PlacementSchedule(segments=tuple(segments))
+
+
+@dataclass
+class ShardedConsolidation(ConsolidationAlgorithm):
+    """Partition → per-shard plan → merge → reconcile.
+
+    Parameters
+    ----------
+    n_shards:
+        Shard count; must not exceed the number of topology groups.
+    by:
+        Topology label shards align to (``"rack"`` or ``"subnet"``).
+    algorithm_factory:
+        Builds one fresh inner planner per shard (instances keep
+        per-plan caches, so shards must not share one).
+    reconcile:
+        Run the cross-shard reconciliation pass.  Requires the inner
+        planner to be a :class:`DynamicConsolidation` (its sizing
+        pipeline is what rebuilds the fleet-wide demand table).
+    fill_threshold / max_reconcile_sweeps:
+        Reconciliation knobs (see :mod:`repro.sharding.reconcile`).
+    plan_shards:
+        Optional override executing the whole shard batch — the runner
+        fan-out hook (:mod:`repro.sharding.tasks` submits one task per
+        shard to the process pool).  Defaults to planning each shard
+        in-process.
+    """
+
+    name: str = "sharded-dynamic"
+    n_shards: int = 4
+    by: str = "rack"
+    algorithm_factory: Callable[[], ConsolidationAlgorithm] = field(
+        default=DynamicConsolidation
+    )
+    reconcile: bool = True
+    fill_threshold: float = 0.5
+    max_reconcile_sweeps: int = 2
+    plan_shards: Optional[
+        Callable[
+            [Tuple[ShardSpec, ...], PlanningContext],
+            Sequence[PlacementSchedule],
+        ]
+    ] = None
+    #: Diagnostics of the most recent :meth:`plan` call.
+    last_report: Optional[ShardedPlanReport] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def plan(self, context: PlanningContext) -> PlacementSchedule:
+        if context.constraints:
+            raise ConfigurationError(
+                "sharded planning does not support deployment constraints "
+                "(a constraint can bind VMs across shard boundaries)"
+            )
+        weights = context.history.store.cpu_rpe2.mean(axis=1)
+        shards = partition_fleet(
+            context.evaluation.vm_ids,
+            context.datacenter,
+            self.n_shards,
+            by=self.by,
+            vm_weights=weights,
+        )
+        if self.plan_shards is not None:
+            schedules = list(self.plan_shards(shards, context))
+        else:
+            schedules = [
+                self.algorithm_factory().plan(shard_context(shard, context))
+                for shard in shards
+            ]
+        merged = merge_shard_schedules(schedules)
+        active_before = tuple(
+            segment.placement.active_host_count for segment in merged
+        )
+        moves = 0
+        if self.reconcile and len(shards) > 1:
+            merged, moves = self._reconcile(merged, context)
+        self.last_report = ShardedPlanReport(
+            shards=shards,
+            reconcile_moves=moves,
+            active_hosts_before=active_before,
+            active_hosts_after=tuple(
+                segment.placement.active_host_count for segment in merged
+            ),
+        )
+        return merged
+
+    # ------------------------------------------------------------------
+
+    def _reconcile(
+        self, merged: PlacementSchedule, context: PlanningContext
+    ) -> Tuple[PlacementSchedule, int]:
+        inner = self.algorithm_factory()
+        if not isinstance(inner, DynamicConsolidation):
+            raise ConfigurationError(
+                "reconcile=True requires a DynamicConsolidation inner "
+                "planner; pass reconcile=False for other algorithms"
+            )
+        classes = [
+            trace.vm.workload_class for trace in context.evaluation
+        ]
+        table = build_demand_table(
+            inner,
+            context.history.store,
+            context.evaluation.store,
+            classes,
+            context,
+        )
+        caps = HostCapacities(
+            list(context.datacenter.hosts), context.config.utilization_bound
+        )
+        group_of_host = _group_index(context.datacenter, self.by, caps)
+        segments = []
+        total_moves = 0
+        for column, segment in enumerate(merged):
+            assignment, moves = reconcile_assignment(
+                segment.placement.assignment,
+                table,
+                column,
+                caps,
+                group_of_host,
+                fill_threshold=self.fill_threshold,
+                max_sweeps=self.max_reconcile_sweeps,
+            )
+            total_moves += moves
+            segments.append(
+                ScheduledPlacement(
+                    placement=(
+                        Placement(assignment=assignment)
+                        if moves
+                        else segment.placement
+                    ),
+                    start_hour=segment.start_hour,
+                    end_hour=segment.end_hour,
+                )
+            )
+        return PlacementSchedule(segments=tuple(segments)), total_moves
+
+
+def shard_context(
+    shard: ShardSpec, context: PlanningContext
+) -> PlanningContext:
+    """The planning sub-problem one shard sees.
+
+    History and evaluation restrict to the shard's VM rows (zero-copy
+    row gathers of an already-built store); the datacenter restricts to
+    the shard's hosts, preserving the fleet's host order so FFD scans
+    inside the shard visit hosts exactly as the unsharded planner
+    would.
+    """
+    datacenter = Datacenter(name=context.datacenter.name)
+    for host_id in shard.host_ids:
+        datacenter.add_host(context.datacenter.host(host_id))
+    return PlanningContext(
+        history=context.history.subset(shard.vm_ids),
+        evaluation=context.evaluation.subset(shard.vm_ids),
+        datacenter=datacenter,
+        config=context.config,
+    )
+
+
+def _group_index(
+    datacenter: Datacenter, by: str, caps: HostCapacities
+) -> List[int]:
+    """Map each host index onto its topology group's dense id."""
+    group_of_host = [0] * caps.n
+    for group_id, (_, hosts) in enumerate(host_groups(datacenter, by)):
+        for host in hosts:
+            group_of_host[caps.index_of[host.host_id]] = group_id
+    return group_of_host

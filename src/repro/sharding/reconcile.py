@@ -1,0 +1,243 @@
+"""Hierarchical cross-shard reconciliation.
+
+Per-shard planning leaves each shard with its own partially filled tail
+hosts; with ``S`` shards that is up to ``S - 1`` extra active hosts per
+interval versus the unsharded plan.  Reconciliation closes that gap on
+the *merged* assignment: under-filled hosts are vacated all-or-nothing
+into fuller hosts — first within their own rack (cheap, local moves),
+then across racks for whatever is left.  Moves use the same fit rule as
+the planners (``capacity + 1e-9`` slack via
+:class:`~repro.core.incremental.IncrementalPlan`), so a reconciled
+placement satisfies exactly the invariants the shard plans did.
+
+The pass is deliberately greedy and bounded: sources are only hosts
+below the fill threshold (the shard-boundary tail, a handful per shard),
+each vacate is all-or-nothing and atomic
+(:meth:`IncrementalPlan.apply_delta` rolls back on any misfit), and the
+sweep count is capped.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.incremental import HostCapacities, IncrementalPlan
+from repro.exceptions import PlacementError
+from repro.sizing.estimator import DemandTable
+
+__all__ = ["reconcile_assignment", "reconcile_plan"]
+
+
+def _fill_fractions(
+    plan: IncrementalPlan, hosts: Sequence[int]
+) -> np.ndarray:
+    """Worst-resource fill fraction of each host (bound-scaled caps)."""
+    caps = plan.caps
+    index = np.asarray(hosts, dtype=np.intp)
+    body_cpu = np.array([plan.body_cpu[h] for h in hosts])
+    body_mem = np.array([plan.body_mem[h] for h in hosts])
+    return np.maximum(
+        body_cpu / caps.cap_cpu_np[index],
+        body_mem / caps.cap_mem_np[index],
+    )
+
+
+def _target_order(
+    plan: IncrementalPlan, targets: List[int]
+) -> List[int]:
+    """Fullest-first: ascending normalized residual, stable on index."""
+    caps = plan.caps
+    index = np.asarray(targets, dtype=np.intp)
+    residual = np.minimum(
+        (caps.cap_cpu_np[index] - np.array([plan.body_cpu[h] for h in targets]))
+        / caps.cap_cpu_np[index],
+        (caps.cap_mem_np[index] - np.array([plan.body_mem[h] for h in targets]))
+        / caps.cap_mem_np[index],
+    )
+    order = np.lexsort((index, residual))
+    return [targets[int(i)] for i in order]
+
+
+def _try_vacate(
+    plan: IncrementalPlan, source: int, targets: List[int]
+) -> int:
+    """All-or-nothing vacate of ``source`` into ``targets``.
+
+    Targets are scanned fullest-first per VM (largest first), counting
+    this attempt's own pending moves; the commit is one atomic
+    :meth:`~repro.core.incremental.IncrementalPlan.apply_delta`.
+    Returns the number of VMs moved (0 when the vacate fails).
+    """
+    rows = sorted(
+        plan.vm_rows_of_host[source], key=plan.cpu.__getitem__, reverse=True
+    )
+    if not rows:
+        return 0
+    ordered = _target_order(plan, [t for t in targets if t != source])
+    if not ordered:
+        return 0
+    caps = plan.caps
+    pend_cpu: Dict[int, float] = {}
+    pend_mem: Dict[int, float] = {}
+    pend_net: Dict[int, float] = {}
+    pend_dsk: Dict[int, float] = {}
+    moves: List[Tuple[int, int]] = []
+    for row in rows:
+        d_cpu = plan.cpu[row]
+        d_mem = plan.mem[row]
+        d_net = plan.net[row]
+        d_dsk = plan.dsk[row]
+        target = -1
+        for host in ordered:
+            if (
+                plan.body_cpu[host] + pend_cpu.get(host, 0.0) + d_cpu
+                <= caps.eps_cpu[host]
+                and plan.body_mem[host] + pend_mem.get(host, 0.0) + d_mem
+                <= caps.eps_mem[host]
+                and plan.body_net[host] + pend_net.get(host, 0.0) + d_net
+                <= caps.eps_net[host]
+                and plan.body_dsk[host] + pend_dsk.get(host, 0.0) + d_dsk
+                <= caps.eps_dsk[host]
+            ):
+                target = host
+                break
+        if target < 0:
+            return 0
+        moves.append((row, target))
+        pend_cpu[target] = pend_cpu.get(target, 0.0) + d_cpu
+        pend_mem[target] = pend_mem.get(target, 0.0) + d_mem
+        pend_net[target] = pend_net.get(target, 0.0) + d_net
+        pend_dsk[target] = pend_dsk.get(target, 0.0) + d_dsk
+    try:
+        plan.apply_delta(
+            [plan.vm_ids[row] for row, _ in moves],
+            [caps.host_ids[target] for _, target in moves],
+        )
+    except PlacementError:
+        # The pending folds approximated the canonical folds the commit
+        # re-checks; a last-ulp divergence aborts this vacate cleanly
+        # (apply_delta restored every accumulator).
+        return 0
+    return len(moves)
+
+
+def reconcile_plan(
+    plan: IncrementalPlan,
+    group_of_host: Sequence[int],
+    *,
+    fill_threshold: float = 0.5,
+    max_sweeps: int = 2,
+) -> int:
+    """Hierarchical vacate pass over one interval's merged plan.
+
+    Phase A visits each topology group (rack) and vacates its
+    under-filled hosts into other active hosts *of the same group*;
+    phase B retries the survivors against every active host.  Sources
+    go emptiest-first so the cheapest hosts free up first; both phases
+    repeat up to ``max_sweeps`` times or until a sweep changes nothing.
+    Returns the total number of VM moves committed.
+    """
+    if not 0 < fill_threshold <= 1:
+        raise PlacementError(
+            f"fill_threshold must be in (0, 1], got {fill_threshold}"
+        )
+    moves = 0
+    for _ in range(max_sweeps):
+        changed = False
+        active = plan.active_hosts()
+        if len(active) <= 1:
+            break
+        fills = _fill_fractions(plan, active)
+        under = [
+            host
+            for host, fill in zip(active, fills.tolist())
+            if fill < fill_threshold
+        ]
+        if not under:
+            break
+        under.sort(key=lambda h: (len(plan.vm_rows_of_host[h]), plan.body_cpu[h]))
+
+        # Phase A: intra-group (rack-local) vacates.
+        active_in_group: Dict[int, List[int]] = {}
+        for host in active:
+            active_in_group.setdefault(group_of_host[host], []).append(host)
+        for source in under:
+            peers = active_in_group[group_of_host[source]]
+            if len(peers) <= 1:
+                continue
+            moved = _try_vacate(plan, source, peers)
+            if moved:
+                moves += moved
+                changed = True
+
+        # Phase B: cross-group vacates for the residual under-filled.
+        active = plan.active_hosts()
+        survivors = [
+            host
+            for host in under
+            if plan.vm_rows_of_host[host]
+            and float(_fill_fractions(plan, [host])[0]) < fill_threshold
+        ]
+        for source in survivors:
+            moved = _try_vacate(plan, source, active)
+            if moved:
+                moves += moved
+                changed = True
+                active = plan.active_hosts()
+        if not changed:
+            break
+    return moves
+
+
+def reconcile_assignment(
+    assignment: Dict[str, str],
+    table: DemandTable,
+    column: int,
+    caps: HostCapacities,
+    group_of_host: Sequence[int],
+    *,
+    fill_threshold: float = 0.5,
+    max_sweeps: int = 2,
+) -> Tuple[Dict[str, str], int]:
+    """Reconcile one interval's merged assignment; returns (result, moves).
+
+    ``table`` holds the fleet-wide sized demands (one column per
+    interval) and must cover every VM in ``assignment``.  A fast
+    vectorized prefilter skips intervals with no under-filled active
+    host without building any plan state.
+    """
+    n_hosts = caps.n
+    rows_host = np.array(
+        [caps.index_of[assignment[vm_id]] for vm_id in table.vm_ids],
+        dtype=np.intp,
+    )
+    cpu_col = table.cpu_rpe2[:, column]
+    mem_col = table.memory_gb[:, column]
+    body_cpu = np.bincount(rows_host, weights=cpu_col, minlength=n_hosts)
+    body_mem = np.bincount(rows_host, weights=mem_col, minlength=n_hosts)
+    counts = np.bincount(rows_host, minlength=n_hosts)
+    active = counts > 0
+    fills = np.maximum(
+        body_cpu / caps.cap_cpu_np, body_mem / caps.cap_mem_np
+    )
+    if active.sum() <= 1 or not (fills[active] < fill_threshold).any():
+        return dict(assignment), 0
+
+    plan = IncrementalPlan.from_assignment(
+        caps,
+        list(table.vm_ids),
+        cpu_col.tolist(),
+        mem_col.tolist(),
+        assignment,
+        table.network_mbps[:, column].tolist(),
+        table.disk_mbps[:, column].tolist(),
+    )
+    moves = reconcile_plan(
+        plan,
+        group_of_host,
+        fill_threshold=fill_threshold,
+        max_sweeps=max_sweeps,
+    )
+    return plan.assignment(), moves

@@ -89,16 +89,22 @@ class TraceStore:
         n = len(traces)
         n_points = len(traces[0])
         cpu_util = np.empty((n, n_points), dtype=float)
+        cpu_rpe2 = np.empty((n, n_points), dtype=float)
         memory_gb = np.empty((n, n_points), dtype=float)
         capacity = np.empty((n, 1), dtype=float)
-        for row, trace in enumerate(traces):
-            cpu_util[row, :] = trace.cpu_util.values
-            memory_gb[row, :] = trace.memory_gb.values
-            capacity[row, 0] = trace.source_spec.cpu_rpe2
+        # One C-level gather per metric (np.stack writes straight into
+        # the preallocated matrix), then one broadcast multiply into the
+        # rpe2 matrix — no per-trace temporaries anywhere.  Elementwise
+        # broadcasting performs exactly the same float multiplications
+        # as ``ServerTrace.cpu_rpe2`` row by row.
+        np.stack([t.cpu_util.values for t in traces], out=cpu_util)
+        np.stack([t.memory_gb.values for t in traces], out=memory_gb)
+        capacity[:, 0] = [t.source_spec.cpu_rpe2 for t in traces]
+        np.multiply(cpu_util, capacity, out=cpu_rpe2)
         return cls(
             vm_ids=tuple(t.vm_id for t in traces),
             cpu_util=_frozen(cpu_util),
-            cpu_rpe2=_frozen(cpu_util * capacity),
+            cpu_rpe2=_frozen(cpu_rpe2),
             memory_gb=_frozen(memory_gb),
             interval_hours=traces[0].interval_hours,
         )
@@ -135,6 +141,28 @@ class TraceStore:
             cpu_util=self.cpu_util[:, start_index:end_index],
             cpu_rpe2=self.cpu_rpe2[:, start_index:end_index],
             memory_gb=self.memory_gb[:, start_index:end_index],
+            interval_hours=self.interval_hours,
+        )
+
+    def rows(self, start: int, stop: int) -> "TraceStore":
+        """Zero-copy contiguous row slice covering ``[start, stop)``.
+
+        Unlike :meth:`take` (a bulk fancy-index gather that materializes
+        the subset), a contiguous basic slice shares memory with this
+        store — including memory-mapped backing files, where the sliced
+        rows stay on disk until touched.  This is how shard workers view
+        only their rows of a fleet-wide store.
+        """
+        if not 0 <= start < stop <= self.n_servers:
+            raise TraceError(
+                f"rows [{start}, {stop}) out of range for "
+                f"{self.n_servers} servers"
+            )
+        return TraceStore(
+            vm_ids=self.vm_ids[start:stop],
+            cpu_util=self.cpu_util[start:stop],
+            cpu_rpe2=self.cpu_rpe2[start:stop],
+            memory_gb=self.memory_gb[start:stop],
             interval_hours=self.interval_hours,
         )
 

@@ -1,0 +1,139 @@
+"""Topology-aligned fleet partitioning invariants.
+
+The partitioner's contract: every VM lands in exactly one shard as a
+contiguous row block, every rack stays whole, shard order follows host
+insertion order, and everything is deterministic — the properties the
+sharded planner's merge step and the memmap row-slice access pattern
+both depend on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.infrastructure.datacenter import Datacenter, build_target_pool
+from repro.infrastructure.server import PhysicalServer, ServerSpec
+from repro.sharding import ShardSpec, partition_fleet
+from repro.sharding.partition import host_groups
+
+
+def _pool(n_hosts: int = 56, hosts_per_rack: int = 14) -> Datacenter:
+    return build_target_pool(
+        "part-pool", host_count=n_hosts, hosts_per_rack=hosts_per_rack
+    )
+
+
+def _vm_ids(n: int) -> list:
+    return [f"vm{i:04d}" for i in range(n)]
+
+
+class TestHostGroups:
+    def test_groups_follow_insertion_order(self) -> None:
+        pool = _pool()
+        labels = [label for label, _ in host_groups(pool)]
+        assert labels == sorted(set(labels), key=labels.index)
+        seen = [h.rack for h in pool]
+        assert labels == sorted(set(seen), key=seen.index)
+
+    def test_unlabeled_hosts_become_singletons(self) -> None:
+        pool = Datacenter(name="bare")
+        for index in range(3):
+            pool.add_host(
+                PhysicalServer(
+                    host_id=f"h{index}",
+                    spec=ServerSpec(cpu_rpe2=1000.0, memory_gb=64.0),
+                )
+            )
+        groups = host_groups(pool)
+        assert [label for label, _ in groups] == ["host:h0", "host:h1", "host:h2"]
+        assert all(len(hosts) == 1 for _, hosts in groups)
+
+    def test_rejects_unknown_key(self) -> None:
+        with pytest.raises(ConfigurationError, match="partition key"):
+            host_groups(_pool(), by="row")
+
+
+class TestPartitionFleet:
+    def test_vms_partition_exactly_once(self) -> None:
+        vm_ids = _vm_ids(100)
+        shards = partition_fleet(vm_ids, _pool(), 4)
+        covered = [vm for shard in shards for vm in shard.vm_ids]
+        assert covered == vm_ids
+        assert [shard.index for shard in shards] == [0, 1, 2, 3]
+
+    def test_vm_blocks_are_contiguous_row_ranges(self) -> None:
+        vm_ids = _vm_ids(97)
+        shards = partition_fleet(vm_ids, _pool(), 3)
+        cursor = 0
+        for shard in shards:
+            assert shard.vm_start == cursor
+            assert shard.vm_ids == tuple(vm_ids[shard.vm_start:shard.vm_stop])
+            assert shard.n_vms >= 1
+            cursor = shard.vm_stop
+        assert cursor == len(vm_ids)
+
+    def test_racks_stay_whole(self) -> None:
+        pool = _pool()
+        shards = partition_fleet(_vm_ids(80), pool, 4)
+        owner = {}
+        for shard in shards:
+            for host_id in shard.host_ids:
+                owner[host_id] = shard.index
+        for _, hosts in host_groups(pool):
+            owners = {owner[h.host_id] for h in hosts}
+            assert len(owners) == 1
+        assert sorted(owner) == sorted(h.host_id for h in pool)
+
+    def test_weights_move_boundaries(self) -> None:
+        vm_ids = _vm_ids(100)
+        pool = _pool()
+        uniform = partition_fleet(vm_ids, pool, 2)
+        # All the demand mass sits in the first rows: the first shard's
+        # block must shrink relative to the uniform split.
+        weights = np.r_[np.full(10, 100.0), np.full(90, 1.0)]
+        skewed = partition_fleet(vm_ids, pool, 2, vm_weights=weights)
+        assert skewed[0].vm_stop < uniform[0].vm_stop
+
+    def test_deterministic(self) -> None:
+        vm_ids = _vm_ids(64)
+        pool = _pool()
+        assert partition_fleet(vm_ids, pool, 4) == partition_fleet(
+            vm_ids, pool, 4
+        )
+
+    def test_single_shard_takes_everything(self) -> None:
+        vm_ids = _vm_ids(10)
+        pool = _pool()
+        (shard,) = partition_fleet(vm_ids, pool, 1)
+        assert shard.vm_ids == tuple(vm_ids)
+        assert shard.host_ids == tuple(h.host_id for h in pool)
+
+    def test_rejects_bad_requests(self) -> None:
+        pool = _pool()
+        with pytest.raises(ConfigurationError, match="n_shards"):
+            partition_fleet(_vm_ids(4), pool, 0)
+        with pytest.raises(ConfigurationError, match="zero VMs"):
+            partition_fleet([], pool, 1)
+        with pytest.raises(ConfigurationError, match="every shard needs"):
+            partition_fleet(_vm_ids(2), pool, 3)
+        with pytest.raises(ConfigurationError, match="groups"):
+            partition_fleet(_vm_ids(50), pool, 5)  # only 4 racks
+        with pytest.raises(ConfigurationError, match="vm_weights"):
+            partition_fleet(_vm_ids(4), pool, 2, vm_weights=[1.0])
+        with pytest.raises(ConfigurationError, match="non-negative"):
+            partition_fleet(
+                _vm_ids(4), pool, 2, vm_weights=[1.0, -1.0, 1.0, 1.0]
+            )
+
+    def test_shard_spec_validates_row_range(self) -> None:
+        with pytest.raises(ConfigurationError, match="vm range"):
+            ShardSpec(
+                index=0,
+                host_ids=("h0",),
+                groups=("r0",),
+                vm_ids=("vm0",),
+                vm_start=0,
+                vm_stop=2,
+            )

@@ -1,0 +1,128 @@
+"""Hierarchical reconciliation pass semantics on hand-built plans.
+
+Small, fully-determined fixtures (two racks, four hosts) pin the pass's
+contract: rack-local vacates happen first, cross-rack vacates mop up
+the rest, every vacate is all-or-nothing, and the vectorized prefilter
+in :func:`reconcile_assignment` never builds plan state for an interval
+with nothing to do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.incremental import HostCapacities, IncrementalPlan
+from repro.exceptions import PlacementError
+from repro.infrastructure.server import PhysicalServer, ServerSpec
+from repro.sharding.reconcile import reconcile_assignment, reconcile_plan
+from repro.sizing.estimator import DemandTable
+
+#: Two racks of two hosts each, 100 RPE2 / 100 GB per host.
+_GROUP_OF_HOST = [0, 0, 1, 1]
+
+
+def _caps() -> HostCapacities:
+    hosts = [
+        PhysicalServer(
+            host_id=f"h{index}",
+            spec=ServerSpec(cpu_rpe2=100.0, memory_gb=100.0),
+        )
+        for index in range(4)
+    ]
+    return HostCapacities(hosts, 1.0)
+
+
+def _plan(cpu, assignment) -> IncrementalPlan:
+    vm_ids = sorted(assignment)
+    demands = [cpu[vm] for vm in vm_ids]
+    return IncrementalPlan.from_assignment(
+        _caps(),
+        vm_ids,
+        demands,
+        [1.0] * len(vm_ids),  # memory never binds in these fixtures
+        assignment,
+    )
+
+
+class TestReconcilePlan:
+    def test_vacates_under_filled_hosts_rack_first(self) -> None:
+        # h1 and h3 are under-filled tails; both fit inside their rack.
+        cpu = {"a": 30.0, "b": 30.0, "c": 10.0, "d": 55.0, "e": 5.0}
+        plan = _plan(
+            cpu, {"a": "h0", "b": "h0", "c": "h1", "d": "h2", "e": "h3"}
+        )
+        moves = reconcile_plan(plan, _GROUP_OF_HOST)
+        assert moves == 2
+        result = plan.assignment()
+        assert result["c"] == "h0"
+        assert result["e"] == "h2"
+        assert plan.active_hosts() == [0, 2]
+
+    def test_cross_rack_vacate_when_rack_is_full(self) -> None:
+        # h1's VM cannot fit on h0 (90+20 > 100) but fits on h2 in the
+        # other rack: phase B must move it.
+        cpu = {"a": 90.0, "b": 20.0, "c": 60.0}
+        plan = _plan(cpu, {"a": "h0", "b": "h1", "c": "h2"})
+        moves = reconcile_plan(plan, _GROUP_OF_HOST)
+        assert moves == 1
+        assert plan.assignment()["b"] == "h2"
+
+    def test_vacate_is_all_or_nothing(self) -> None:
+        # h1 holds two VMs; only one of them fits anywhere else.  A
+        # partial move would strand the host active anyway, so the pass
+        # must leave the assignment untouched.
+        cpu = {"a": 80.0, "b": 30.0, "c": 18.0, "d": 85.0, "e": 82.0}
+        plan = _plan(
+            cpu,
+            {"a": "h0", "b": "h1", "c": "h1", "d": "h2", "e": "h3"},
+        )
+        before = plan.assignment()
+        assert reconcile_plan(plan, _GROUP_OF_HOST) == 0
+        assert plan.assignment() == before
+
+    def test_respects_fill_threshold(self) -> None:
+        # At threshold 0.05 nothing is "under-filled", so nothing moves.
+        cpu = {"a": 30.0, "b": 10.0}
+        plan = _plan(cpu, {"a": "h0", "b": "h1"})
+        assert (
+            reconcile_plan(plan, _GROUP_OF_HOST, fill_threshold=0.05) == 0
+        )
+
+    def test_rejects_bad_threshold(self) -> None:
+        plan = _plan({"a": 10.0}, {"a": "h0"})
+        with pytest.raises(PlacementError, match="fill_threshold"):
+            reconcile_plan(plan, _GROUP_OF_HOST, fill_threshold=0.0)
+
+
+class TestReconcileAssignment:
+    def _table(self, cpu_by_vm) -> DemandTable:
+        vm_ids = tuple(sorted(cpu_by_vm))
+        column = np.array([[cpu_by_vm[vm]] for vm in vm_ids])
+        return DemandTable(
+            vm_ids=vm_ids,
+            cpu_rpe2=column,
+            memory_gb=np.full_like(column, 1.0),
+            network_mbps=np.zeros_like(column),
+            disk_mbps=np.zeros_like(column),
+        )
+
+    def test_moves_tail_vms_and_reports_count(self) -> None:
+        table = self._table({"a": 30.0, "b": 30.0, "c": 10.0})
+        assignment = {"a": "h0", "b": "h0", "c": "h1"}
+        result, moves = reconcile_assignment(
+            assignment, table, 0, _caps(), _GROUP_OF_HOST
+        )
+        assert moves == 1
+        assert result["c"] == "h0"
+        # The input assignment is never mutated.
+        assert assignment["c"] == "h1"
+
+    def test_prefilter_skips_balanced_intervals(self) -> None:
+        table = self._table({"a": 60.0, "b": 70.0})
+        assignment = {"a": "h0", "b": "h1"}
+        result, moves = reconcile_assignment(
+            assignment, table, 0, _caps(), _GROUP_OF_HOST
+        )
+        assert moves == 0
+        assert result == assignment
