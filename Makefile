@@ -38,12 +38,14 @@ check: lint test
 bench-smoke:
 	$(PYTHON) -m pytest benchmarks/bench_runner_sweep.py -q -s
 	$(PYTHON) benchmarks/bench_kernels.py --smoke
+	$(PYTHON) benchmarks/bench_generation.py --smoke
 	$(PYTHON) benchmarks/bench_planners.py --smoke
 
 # Re-pin the committed benchmark numbers (paper-scale instances, see
 # docs/PERFORMANCE.md); review the JSON diffs like any other change.
 bench-baseline:
 	$(PYTHON) benchmarks/bench_kernels.py --out BENCH_kernels.json
+	$(PYTHON) benchmarks/bench_generation.py --out BENCH_kernels.json
 	$(PYTHON) benchmarks/bench_planners.py --out BENCH_planners.json
 
 # Full soak of the online consolidation controller: 10k streamed

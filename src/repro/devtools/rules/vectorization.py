@@ -18,8 +18,15 @@ prefilters sit on the same hot path):
   is exactly the O(n_servers) interpreter overhead the columnar kernels
   removed.
 
+The workload *generation* pipeline (PR: store-first array engine) is in
+scope too — :mod:`repro.workloads`'s generator/models/presets/chunked
+modules — so a new per-trace loop upstream of the store can't quietly
+reintroduce the scalar stage the engine removed.
+
 Retained scalar references (``emulator/reference.py``, the scalar
-planner paths kept as equivalence-suite baselines) opt out with
+planner paths kept as equivalence-suite baselines, and the pinned
+``_generate_trace_set_scalar`` reference pipeline in
+``workloads/generator.py``) opt out with
 ``# repro-lint: disable-file=REPRO109`` / per-line ``disable=`` pragmas:
 those loops exist to *be* what the kernels are checked against.
 """
@@ -34,6 +41,19 @@ from repro.devtools.findings import Finding
 from repro.devtools.registry import Rule, register
 
 _SCOPED_PACKAGES = ("emulator", "placement", "core", "sizing", "sharding")
+#: The workloads package is generator + storage + presets; only its
+#: generation pipeline is hot-path columnar (the array engine), so the
+#: rule scopes to those modules by name rather than the whole package.
+_SCOPED_WORKLOAD_MODULES = frozenset(
+    {
+        "generator.py",
+        "models.py",
+        "datacenters.py",
+        "chunked.py",
+        "appmodel.py",
+        "store.py",
+    }
+)
 _TRACE_COLLECTION_NAMES = frozenset({"traces", "trace_set", "_traces"})
 
 
@@ -70,7 +90,11 @@ class VectorizedKernelRule(Rule):
     )
 
     def check(self, module: Module, project: Project) -> Iterator[Finding]:
-        if not module.in_package(*_SCOPED_PACKAGES):
+        in_workloads_generator = (
+            module.in_package("workloads")
+            and module.basename in _SCOPED_WORKLOAD_MODULES
+        )
+        if not (module.in_package(*_SCOPED_PACKAGES) or in_workloads_generator):
             return
         for node in ast.walk(module.tree):
             if isinstance(node, ast.Call) and _is_vstack_call(node):

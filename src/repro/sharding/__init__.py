@@ -26,6 +26,7 @@ from repro.sharding.tasks import (
     KIND_SHARD_PLAN,
     ShardedPlanRun,
     chunked_source,
+    generated_source,
     preset_source,
     run_sharded_plan,
     shard_plan_task,
@@ -41,6 +42,7 @@ __all__ = [
     "KIND_SHARD_PLAN",
     "ShardedPlanRun",
     "chunked_source",
+    "generated_source",
     "preset_source",
     "shard_plan_task",
     "run_sharded_plan",

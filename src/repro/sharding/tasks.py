@@ -19,6 +19,10 @@ Sources are declarative documents so cache keys cover them:
 * ``{"kind": "preset", "datacenter": ..., "scale": ..., "days": ...,
   "seed": ...}`` — a calibrated preset resolved through the shared
   ``trace-set`` sub-task,
+* ``{"kind": "generated", ...}`` — the same preset parameters, but each
+  worker synthesizes *only its own rows* through the array engine's
+  ``vm_range`` (bit-identical to the full fleet's rows by construction),
+  so per-shard generation cost is proportional to the shard,
 * ``{"kind": "chunked", "path": ...}`` — a chunked store directory
   (:mod:`repro.workloads.chunked`); the manifest's content hash is
   pinned into the task params so a rewritten store can never satisfy a
@@ -51,6 +55,7 @@ __all__ = [
     "KIND_SHARD_PLAN",
     "ShardedPlanRun",
     "chunked_source",
+    "generated_source",
     "preset_source",
     "run_sharded_plan",
     "shard_plan_task",
@@ -72,6 +77,31 @@ def preset_source(
     """Source document for a calibrated datacenter preset."""
     return {
         "kind": "preset",
+        "datacenter": str(datacenter),
+        "scale": float(scale),
+        "days": int(days),
+        "seed": None if seed is None else int(seed),
+    }
+
+
+def generated_source(
+    datacenter: str,
+    *,
+    scale: float,
+    days: int = 30,
+    seed: Optional[int] = None,
+) -> Dict[str, object]:
+    """Source document generating each shard's rows on demand.
+
+    Same parameters as :func:`preset_source`, different resolution: a
+    shard worker calls the array engine with its ``vm_range`` and
+    synthesizes only its own rows — bit-identical to the matching rows
+    of the full fleet, per-VM streams being keyed by global index.  No
+    worker ever generates (or caches) the whole fleet, which is the
+    difference that matters at 100k servers.
+    """
+    return {
+        "kind": "generated",
         "datacenter": str(datacenter),
         "scale": float(scale),
         "days": int(days),
@@ -110,6 +140,17 @@ def _resolve_shard_traces(
         return open_chunked_trace_set(
             str(source["path"]), start=vm_start, stop=vm_stop
         )
+    if kind == "generated":
+        from repro.workloads.datacenters import generate_datacenter
+
+        seed = source.get("seed")
+        return generate_datacenter(
+            str(source["datacenter"]),
+            scale=float(source["scale"]),  # type: ignore[arg-type]
+            days=int(source["days"]),  # type: ignore[arg-type]
+            seed=None if seed is None else int(seed),  # type: ignore[arg-type]
+            vm_range=(vm_start, vm_stop),
+        )
     if kind == "preset":
         seed = source.get("seed")
         task = trace_task(
@@ -122,7 +163,8 @@ def _resolve_shard_traces(
         assert isinstance(full, TraceSet)
         return full.subset(full.vm_ids[vm_start:vm_stop])
     raise ConfigurationError(
-        f"unknown trace source kind {kind!r}; expected 'preset' or 'chunked'"
+        f"unknown trace source kind {kind!r}; expected 'preset', "
+        "'generated', or 'chunked'"
     )
 
 
@@ -240,6 +282,9 @@ def run_sharded_plan(
     if source.get("kind") == "chunked":
         traces = open_chunked_trace_set(str(source["path"]))
     else:
+        # "preset" and "generated" resolve identically in the parent —
+        # the full fleet through the array engine; they differ only in
+        # how workers resolve their rows.
         from repro.workloads.datacenters import generate_datacenter
 
         seed = source.get("seed")

@@ -25,6 +25,8 @@ import math
 from dataclasses import dataclass
 from typing import Sequence, Tuple
 
+import numpy as np
+
 from repro.exceptions import ConfigurationError
 
 __all__ = ["AppResourceModel", "OLIO_MODEL"]
@@ -82,12 +84,33 @@ class AppResourceModel:
             self.memory_gb(high_throughput) / self.memory_gb(low_throughput),
         )
 
+    def demand_arrays(
+        self, throughputs: Sequence[float]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Batched ``(cpu_cores, memory_gb)`` demand for many throughputs.
+
+        One broadcast power per resource instead of a scalar call per
+        operating point — this is the array-engine face of the model,
+        used when deriving whole demand curves (e.g. a throughput grid
+        per VM class) in one shot.
+        """
+        values = np.asarray(throughputs, dtype=float)
+        if values.size and not bool(np.all(values > 0)):
+            raise ConfigurationError("throughput must be > 0")
+        ratios = values / self.reference_throughput
+        return (
+            self.cpu_cores_at_reference * ratios**self.cpu_exponent,
+            self.memory_gb_at_reference * ratios**self.memory_exponent,
+        )
+
     def sweep(
         self, throughputs: Sequence[float]
     ) -> Tuple[Tuple[float, float, float], ...]:
         """(throughput, cpu_cores, memory_gb) rows for a report table."""
+        cpu, memory = self.demand_arrays(throughputs)
         return tuple(
-            (t, self.cpu_cores(t), self.memory_gb(t)) for t in throughputs
+            (float(t), float(c), float(m))
+            for t, c, m in zip(throughputs, cpu, memory)
         )
 
     @staticmethod

@@ -47,6 +47,7 @@ from repro.workloads.trace import ResourceTrace, ServerTrace, TraceSet
 __all__ = [
     "ChunkedManifest",
     "ChunkedTraceWriter",
+    "generate_chunked_store",
     "vm_record",
     "write_trace_set",
     "open_chunked_store",
@@ -270,15 +271,70 @@ def write_trace_set(
 ) -> Path:
     """Spill an in-memory trace set into a chunked store directory."""
     traces = trace_set.traces
+    n_rows = len(traces)
     writer = ChunkedTraceWriter(
         directory,
         name=trace_set.name,
-        n_servers=len(traces),
+        n_servers=n_rows,
         n_points=trace_set.n_points,
         interval_hours=trace_set.interval_hours,
     )
-    for start in range(0, len(traces), block_rows):
+    for start in range(0, n_rows, block_rows):
         writer.append_traces(traces[start:start + block_rows])
+    return writer.close()
+
+
+def generate_chunked_store(
+    directory: Union[str, Path],
+    name: str,
+    specs: Sequence[tuple],
+    n_hours: int,
+    seed: int,
+    *,
+    mean_util_spread_sigma: float = 0.7,
+    mean_util_bounds: Tuple[float, float] = (0.002, 0.6),
+    correlation=None,
+    block_rows: int = 2048,
+) -> Path:
+    """Generate a fleet straight to disk, one row block at a time.
+
+    This is the array engine's streaming face wired to the chunked
+    writer: each :class:`~repro.workloads.generator.TraceBlock` is
+    written (and its absolute-CPU rows derived) the moment it is
+    generated, so peak memory is ``O(block_rows * n_hours)`` however
+    large the fleet — a 100k-server month never exists in RAM.  The
+    on-disk store is bit-identical to ``generate_trace_set(...).store``
+    for the same arguments.
+    """
+    from repro.workloads.generator import generate_trace_blocks
+
+    if block_rows <= 0:
+        raise TraceError(f"block_rows must be > 0, got {block_rows}")
+    total = sum(int(count) for *_group, count in specs)
+    writer = ChunkedTraceWriter(
+        directory,
+        name=name,
+        n_servers=total,
+        n_points=n_hours,
+        interval_hours=1.0,
+    )
+    blocks = generate_trace_blocks(
+        name,
+        specs,
+        n_hours,
+        seed,
+        mean_util_spread_sigma=mean_util_spread_sigma,
+        mean_util_bounds=mean_util_bounds,
+        correlation=correlation,
+        block_rows=block_rows,
+    )
+    for block in blocks:
+        spec = block.source_spec
+        writer.append_block(
+            [vm_record(vm, spec) for vm in block.virtual_machines()],
+            block.cpu_util,
+            block.memory_gb,
+        )
     return writer.close()
 
 

@@ -24,10 +24,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, replace
-from typing import Dict, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import ConfigurationError
 from repro.metrics.catalog import ServerModel, get_model, register_model
+from repro.workloads.chunked import generate_chunked_store
 from repro.workloads.generator import (
     IDLE,
     SCHEDULED_BATCH,
@@ -50,7 +52,9 @@ __all__ = [
     "BEVERAGE",
     "ALL_DATACENTERS",
     "get_datacenter_config",
+    "datacenter_specs",
     "generate_datacenter",
+    "generate_datacenter_chunked",
     "STUDY_DAYS",
 ]
 
@@ -460,12 +464,35 @@ def _group_counts(config: DatacenterConfig, total: int) -> Sequence[int]:
     return counts
 
 
+def datacenter_specs(
+    key: str, *, scale: float = 1.0
+) -> List[Tuple[WorkloadClassProfile, ServerModel, int]]:
+    """The ``(profile, hardware, count)`` groups for a preset at scale.
+
+    This is the preset's full generation plan — what
+    :func:`generate_datacenter` feeds the engine — exposed so callers
+    that stream (chunked writers, shard workers with a ``vm_range``)
+    can hand the exact same plan to the blockwise entry points.
+    """
+    config = get_datacenter_config(key)
+    if scale <= 0:
+        raise ConfigurationError(f"scale must be > 0, got {scale}")
+    total = max(len(config.groups), int(round(config.server_count * scale)))
+    counts = _group_counts(config, total)
+    return [
+        (group.profile, get_model(group.hardware), count)
+        for group, count in zip(config.groups, counts)
+    ]
+
+
 def generate_datacenter(
     key: str,
     *,
     scale: float = 1.0,
     days: int = STUDY_DAYS,
     seed: Optional[int] = None,
+    engine: str = "array",
+    vm_range: Optional[Tuple[int, int]] = None,
 ) -> TraceSet:
     """Generate the trace set for one of the paper's datacenters.
 
@@ -481,22 +508,53 @@ def generate_datacenter(
         Trace length in days (paper: 30).
     seed:
         Override the preset's seed for alternative trace realizations.
+    engine:
+        ``"array"`` (default, batched store-first) or ``"scalar"``
+        (pinned per-VM reference); bit-identical outputs.
+    vm_range:
+        Array engine only: generate just global rows ``[start, stop)``,
+        bit-identical to the same rows of the full fleet.
     """
     config = get_datacenter_config(key)
-    if scale <= 0:
-        raise ConfigurationError(f"scale must be > 0, got {scale}")
     if days <= 0:
         raise ConfigurationError(f"days must be > 0, got {days}")
-    total = max(len(config.groups), int(round(config.server_count * scale)))
-    counts = _group_counts(config, total)
-    specs = [
-        (group.profile, get_model(group.hardware), count)
-        for group, count in zip(config.groups, counts)
-    ]
     return generate_trace_set(
         name=config.key,
-        specs=specs,
+        specs=datacenter_specs(key, scale=scale),
         n_hours=days * HOURS_PER_DAY,
         seed=config.seed if seed is None else seed,
         correlation=config.correlation,
+        engine=engine,
+        vm_range=vm_range,
+    )
+
+
+def generate_datacenter_chunked(
+    key: str,
+    directory: Union[str, Path],
+    *,
+    scale: float = 1.0,
+    days: int = STUDY_DAYS,
+    seed: Optional[int] = None,
+    block_rows: int = 2048,
+) -> Path:
+    """Generate a preset straight to a chunked store directory.
+
+    Streams row blocks from the array engine into
+    :class:`~repro.workloads.chunked.ChunkedTraceWriter`, so arbitrarily
+    scaled fleets (``scale=100`` is ~80k servers for banking) never
+    materialize in RAM.  The on-disk store is bit-identical to
+    ``generate_datacenter(key, ...).store``.
+    """
+    config = get_datacenter_config(key)
+    if days <= 0:
+        raise ConfigurationError(f"days must be > 0, got {days}")
+    return generate_chunked_store(
+        directory,
+        config.key,
+        datacenter_specs(key, scale=scale),
+        days * HOURS_PER_DAY,
+        config.seed if seed is None else seed,
+        correlation=config.correlation,
+        block_rows=block_rows,
     )

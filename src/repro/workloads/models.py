@@ -25,6 +25,13 @@ from typing import Optional
 
 import numpy as np
 
+try:  # SciPy ships with the toolchain; gate anyway so the batched
+    # engine degrades to the (bit-identical) column-stepped recurrence
+    # instead of failing to import.
+    from scipy.signal import lfilter as _lfilter
+except ImportError:  # pragma: no cover - scipy present in CI image
+    _lfilter = None
+
 from repro.exceptions import ConfigurationError
 from repro.numerics import approx_eq
 from repro.workloads.trace import HOURS_PER_DAY
@@ -33,12 +40,17 @@ __all__ = [
     "hour_of_day",
     "day_of_week",
     "diurnal_profile",
+    "diurnal_profile_matrix",
     "weekly_profile",
     "lognormal_noise",
     "ar1_noise",
+    "ar1_filter_matrix",
     "pareto_spikes",
+    "pareto_spike_matrix",
     "scheduled_jobs",
+    "scheduled_job_matrix",
     "ewma_smooth",
+    "ewma_smooth_matrix",
 ]
 
 HOURS_PER_WEEK = 7 * HOURS_PER_DAY
@@ -228,6 +240,249 @@ def scheduled_jobs(
             load[t] = max(load[t], level)
         occurrence += period_hours
     return load
+
+
+def diurnal_profile_matrix(
+    n_hours: int,
+    peak_hours: np.ndarray,
+    *,
+    amplitude: float = 1.0,
+    width_hours: float = 4.0,
+    start_hour: int = 0,
+    weekend_factor: Optional[float] = None,
+    out: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Batched :func:`diurnal_profile` for a vector of per-VM peak hours.
+
+    Returns an ``(n_vms, n_hours)`` matrix whose rows are bit-identical to
+    per-VM calls of :func:`diurnal_profile` (and, when ``weekend_factor``
+    is given, the elementwise product with :func:`weekly_profile`).  The
+    profile is 24h-periodic (168h with the weekly dip folded in), so the
+    bump is evaluated once per distinct hour and gathered, instead of
+    recomputing ``exp`` for every trace hour.  ``out`` receives the final
+    gather directly (e.g. a columnar-store row block).
+    """
+    if amplitude < 0:
+        raise ConfigurationError(f"amplitude must be >= 0, got {amplitude}")
+    if width_hours <= 0:
+        raise ConfigurationError(f"width_hours must be > 0, got {width_hours}")
+    if n_hours <= 0 and weekend_factor is not None:
+        raise ConfigurationError(f"n_hours must be > 0, got {n_hours}")
+    pattern = diurnal_pattern_matrix(
+        peak_hours,
+        amplitude=amplitude,
+        width_hours=width_hours,
+        weekend_factor=weekend_factor,
+    )
+    return _tile_periodic(pattern, n_hours, start_hour, out)
+
+
+def diurnal_pattern_matrix(
+    peak_hours: np.ndarray,
+    *,
+    amplitude: float = 1.0,
+    width_hours: float = 4.0,
+    weekend_factor: Optional[float] = None,
+) -> np.ndarray:
+    """The periodic ``(n_vms, period)`` pattern behind the diurnal matrix.
+
+    ``period`` is 24 hours, or 168 with the weekly dip folded in.
+    Expanding it with :func:`_tile_periodic` (or gathering it modulo the
+    period) reproduces :func:`diurnal_profile_matrix` bit for bit —
+    consumers with a fused gather (the C kernel) start from this.
+    """
+    if amplitude < 0:
+        raise ConfigurationError(f"amplitude must be >= 0, got {amplitude}")
+    if width_hours <= 0:
+        raise ConfigurationError(f"width_hours must be > 0, got {width_hours}")
+    peaks = np.asarray(peak_hours, dtype=float)
+    if peaks.ndim != 1:
+        raise ConfigurationError("peak_hours must be a 1-D array")
+    hod = np.arange(HOURS_PER_DAY, dtype=float)
+    distance = np.abs(hod[None, :] - peaks[:, None])
+    distance = np.minimum(distance, HOURS_PER_DAY - distance)
+    pattern = 1.0 + amplitude * np.exp(-(distance**2) / (2.0 * width_hours**2))
+    if weekend_factor is None:
+        return pattern
+    # Fold the weekly dip into the (168h) pattern before expansion: the
+    # product runs over 168 columns instead of n_hours.
+    week = weekly_profile(HOURS_PER_WEEK, weekend_factor=weekend_factor)
+    hod_week = np.asarray(hour_of_day(HOURS_PER_WEEK))
+    return np.take(pattern, hod_week, axis=1) * week[None, :]
+
+
+def _tile_periodic(
+    pattern: np.ndarray,
+    n_hours: int,
+    start_hour: int,
+    out: Optional[np.ndarray],
+) -> np.ndarray:
+    """Expand a periodic ``(n_vms, period)`` pattern to ``n_hours`` columns.
+
+    Pure sliced copies — bit-identical to an index gather, but sequential
+    writes instead of a per-element fancy-index walk.
+    """
+    period = pattern.shape[1]
+    if out is None:
+        out = np.empty((pattern.shape[0], n_hours))
+    position = 0
+    offset = start_hour % period
+    while position < n_hours:
+        span = min(period - offset, n_hours - position)
+        out[:, position:position + span] = pattern[:, offset:offset + span]
+        position += span
+        offset = 0
+    return out
+
+
+def ar1_filter_matrix(
+    gaussians: np.ndarray, phi: float, sigma: float
+) -> np.ndarray:
+    """Batched :func:`ar1_noise` from pre-drawn standard normals.
+
+    ``gaussians`` is ``(n_vms, n_hours)`` of N(0, 1) draws: column 0 seeds
+    the stationary start ``x0 = sigma/sqrt(1-phi^2) * g0`` and the rest
+    are the shocks ``eps = sigma * g``.  Rows are bit-identical to
+    :func:`ar1_noise` because ``Generator.normal(0, s, n)`` scales
+    standard normals by exactly ``s`` and the linear-filter recurrence
+    performs the same multiply/add per step as the scalar loop.
+    """
+    if not -1.0 < phi < 1.0:
+        raise ConfigurationError(f"phi must be in (-1, 1), got {phi}")
+    if sigma < 0:
+        raise ConfigurationError(f"sigma must be >= 0, got {sigma}")
+    if gaussians.ndim != 2:
+        raise ConfigurationError("ar1_filter_matrix expects a 2-D array")
+    if sigma == 0:
+        return np.zeros_like(gaussians)
+    n_hours = gaussians.shape[1]
+    stationary_std = sigma / np.sqrt(1.0 - phi**2)
+    out = np.empty_like(gaussians)
+    x0 = stationary_std * gaussians[:, 0]
+    out[:, 0] = x0
+    if n_hours == 1:
+        return out
+    if _lfilter is not None:
+        shocks, _ = _lfilter(
+            [sigma], [1.0, -phi], gaussians[:, 1:], axis=1, zi=(phi * x0)[:, None]
+        )
+        out[:, 1:] = shocks
+    else:  # pragma: no cover - exercised only without scipy
+        previous = x0
+        for t in range(1, n_hours):
+            previous = phi * previous + sigma * gaussians[:, t]
+            out[:, t] = previous
+    return out
+
+
+def pareto_spike_matrix(
+    n_rows: int,
+    n_hours: int,
+    *,
+    rows: np.ndarray,
+    starts: np.ndarray,
+    magnitudes: np.ndarray,
+    durations: np.ndarray,
+) -> np.ndarray:
+    """Batched :func:`pareto_spikes` scatter from pre-drawn spike draws.
+
+    Each spike ``i`` lives on trace row ``rows[i]`` and decays linearly
+    from ``starts[i]`` over ``durations[i]`` hours; overlapping spikes
+    combine by max, exactly like the scalar loop (max is order-free).
+    """
+    spikes = np.zeros((n_rows, n_hours))
+    starts = np.asarray(starts)
+    durations = np.asarray(durations)
+    if starts.size == 0:
+        return spikes
+    for offset in range(int(durations.max())):
+        active = durations > offset
+        times = starts + offset
+        active &= times < n_hours
+        if not active.any():
+            continue
+        decay = 1.0 - offset / durations[active]
+        np.maximum.at(
+            spikes, (rows[active], times[active]), magnitudes[active] * decay
+        )
+    return spikes
+
+
+def scheduled_job_matrix(
+    n_hours: int,
+    *,
+    period_hours: int,
+    duration_hours: int,
+    starts: np.ndarray,
+    levels: np.ndarray,
+    jitters: np.ndarray,
+) -> np.ndarray:
+    """Batched :func:`scheduled_jobs` from pre-drawn starts/levels/jitter.
+
+    ``starts``/``levels`` are per-VM; ``jitters`` is ``(n_vms, max_occ)``
+    with row ``j`` holding the jitter draws for VM ``j``'s occurrences (0
+    beyond its count).  Occurrence validity is decided *before* jitter is
+    applied, matching the scalar while-loop.
+    """
+    if period_hours <= 0:
+        raise ConfigurationError(f"period_hours must be > 0, got {period_hours}")
+    if duration_hours <= 0:
+        raise ConfigurationError(
+            f"duration_hours must be > 0, got {duration_hours}"
+        )
+    starts = np.asarray(starts)
+    levels = np.asarray(levels, dtype=float)
+    jitters = np.asarray(jitters)
+    n_rows = starts.size
+    load = np.zeros((n_rows, n_hours))
+    if n_rows == 0 or jitters.shape[1] == 0:
+        return load
+    occurrences = starts[:, None] + np.arange(jitters.shape[1]) * period_hours
+    begins = occurrences + jitters
+    times = begins[:, :, None] + np.arange(duration_hours)
+    valid = (
+        (occurrences < n_hours)[:, :, None] & (times >= 0) & (times < n_hours)
+    )
+    row_index = np.broadcast_to(
+        np.arange(n_rows)[:, None, None], times.shape
+    )
+    level_cube = np.broadcast_to(levels[:, None, None], times.shape)
+    load[row_index[valid], times[valid]] = level_cube[valid]
+    return load
+
+
+def ewma_smooth_matrix(values: np.ndarray, alpha: float) -> np.ndarray:
+    """Batched :func:`ewma_smooth` over the rows of a 2-D array.
+
+    Bit-identical to per-row :func:`ewma_smooth`: the linear filter does
+    the same ``alpha*v[t] + (1-alpha)*s[t-1]`` multiply/add per step.
+    """
+    if not 0 < alpha <= 1:
+        raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise ConfigurationError("ewma_smooth_matrix expects a 2-D array")
+    if approx_eq(alpha, 1.0):
+        return values.copy()
+    out = np.empty_like(values)
+    out[:, 0] = values[:, 0]
+    if values.shape[1] == 1:
+        return out
+    if _lfilter is not None:
+        smoothed, _ = _lfilter(
+            [alpha],
+            [1.0, -(1.0 - alpha)],
+            values[:, 1:],
+            axis=1,
+            zi=((1.0 - alpha) * values[:, 0])[:, None],
+        )
+        out[:, 1:] = smoothed
+    else:  # pragma: no cover - exercised only without scipy
+        previous = values[:, 0].copy()
+        for t in range(1, values.shape[1]):
+            previous = alpha * values[:, t] + (1.0 - alpha) * previous
+            out[:, t] = previous
+    return out
 
 
 def ewma_smooth(values: np.ndarray, alpha: float) -> np.ndarray:

@@ -34,6 +34,23 @@ __all__ = ["ResourceTrace", "ServerTrace", "TraceSet", "HOURS_PER_DAY"]
 HOURS_PER_DAY = 24
 
 
+def _memoized(fn):
+    """Wrap a zero-arg callable so it runs at most once (shared result).
+
+    Store-first trace sets hand the same deferred VM-spec builder to
+    every ``window``/``subset`` child; memoizing here keeps the builder
+    from re-running once any of them materializes.
+    """
+    cache: List[object] = []
+
+    def call() -> object:
+        if not cache:
+            cache.append(fn())
+        return cache[0]
+
+    return call
+
+
 def _as_trace_array(values: Sequence[float], what: str) -> np.ndarray:
     array = np.asarray(values, dtype=float)
     if array.ndim != 1:
@@ -205,15 +222,86 @@ class TraceSet:
     _store: Optional[TraceStore] = field(
         default=None, repr=False, compare=False
     )
+    #: Deferred per-VM identities for a store-first set: a callable (or
+    #: its resolved list) of ``(VirtualMachine, ServerSpec)`` pairs, one
+    #: per store row.  ``None`` once materialized (or for eager sets).
+    _pending: Optional[object] = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         traces, self._traces = list(self._traces), []
         self._by_id = {}
         self._store = None
+        self._pending = None
         for trace in traces:
             self.add(trace)
 
+    @classmethod
+    def from_store(
+        cls, name: str, store: TraceStore, vm_specs: object
+    ) -> "TraceSet":
+        """Build a set served by a columnar store, materializing lazily.
+
+        ``vm_specs`` is a list of ``(VirtualMachine, ServerSpec)`` pairs
+        aligned with the store rows, or a zero-argument callable
+        returning one (resolved at most once, on first need).  Bulk
+        matrix/aggregate queries, ``window``, and ``subset`` are served
+        straight from the store; per-trace objects are only created when
+        something iterates or looks up an individual trace.
+        """
+        trace_set = cls(name=name)
+        if callable(vm_specs):
+            vm_specs = _memoized(vm_specs)
+        trace_set._store = store
+        trace_set._pending = vm_specs
+        return trace_set
+
+    def _pending_pairs(self) -> List[Tuple[VirtualMachine, ServerSpec]]:
+        if callable(self._pending):
+            self._pending = self._pending()
+        pairs = list(self._pending)
+        if len(pairs) != self._store.n_servers:
+            raise TraceError(
+                f"{self.name!r}: {len(pairs)} VM specs for "
+                f"{self._store.n_servers} store rows"
+            )
+        return pairs
+
+    def _ensure_traces(self) -> None:
+        """Materialize per-trace objects from the backing store."""
+        if self._pending is None:
+            return
+        pairs = self._pending_pairs()
+        store = self._store
+        self._pending = None
+        for row, (vm, spec) in enumerate(pairs):
+            # Store rows are read-only views, so ResourceTrace adopts
+            # them without copying the demand data.
+            trace = ServerTrace(
+                vm=vm,
+                source_spec=spec,
+                cpu_util=ResourceTrace(
+                    values=store.cpu_util[row],
+                    interval_hours=store.interval_hours,
+                    unit="fraction",
+                ),
+                memory_gb=ResourceTrace(
+                    values=store.memory_gb[row],
+                    interval_hours=store.interval_hours,
+                    unit="GB",
+                ),
+            )
+            self._traces.append(trace)
+            self._by_id[trace.vm_id] = trace
+
+    def __getstate__(self) -> Dict[str, object]:
+        # Pending callables close over generator state and do not
+        # pickle; materialize before any serialization (runner caches
+        # pickle trace sets).
+        self._ensure_traces()
+        return self.__dict__
+
     def add(self, trace: ServerTrace) -> None:
+        self._ensure_traces()
         if trace.vm_id in self._by_id:
             raise TraceError(f"duplicate vm_id {trace.vm_id!r} in {self.name!r}")
         if self._traces:
@@ -243,35 +331,52 @@ class TraceSet:
 
     @property
     def traces(self) -> Tuple[ServerTrace, ...]:
+        self._ensure_traces()
         return tuple(self._traces)
 
     def trace(self, vm_id: str) -> ServerTrace:
+        self._ensure_traces()
         try:
             return self._by_id[vm_id]
         except KeyError:
             raise TraceError(f"unknown vm_id {vm_id!r} in {self.name!r}") from None
 
     def __len__(self) -> int:
+        if self._pending is not None:
+            return self._store.n_servers
         return len(self._traces)
 
     def __iter__(self) -> Iterator[ServerTrace]:
+        self._ensure_traces()
         return iter(self._traces)
 
     def __contains__(self, vm_id: object) -> bool:
+        if self._pending is not None:
+            try:
+                self._store.row_of(vm_id)  # type: ignore[arg-type]
+            except TraceError:
+                return False
+            return True
         return vm_id in self._by_id
 
     @property
     def vm_ids(self) -> Tuple[str, ...]:
+        if self._pending is not None:
+            return tuple(self._store.vm_ids)
         return tuple(t.vm_id for t in self._traces)
 
     @property
     def n_points(self) -> int:
+        if self._pending is not None:
+            return self._store.n_points
         if not self._traces:
             raise TraceError(f"trace set {self.name!r} is empty")
         return len(self._traces[0])
 
     @property
     def interval_hours(self) -> float:
+        if self._pending is not None:
+            return self._store.interval_hours
         if not self._traces:
             raise TraceError(f"trace set {self.name!r} is empty")
         return self._traces[0].interval_hours
@@ -287,6 +392,25 @@ class TraceSet:
         and an already-built columnar store is propagated as a zero-copy
         column slice instead of being rebuilt by the child.
         """
+        if self._pending is not None:
+            interval = self._store.interval_hours
+            start_index = start_hour / interval
+            end_index = end_hour / interval
+            if start_index != int(start_index) or end_index != int(end_index):
+                raise TraceError(
+                    f"window [{start_hour}, {end_hour}) does not align to "
+                    f"{interval}h samples"
+                )
+            i, j = int(start_index), int(end_index)
+            if not (0 <= i < j <= self._store.n_points):
+                raise TraceError(
+                    f"window [{start_hour}, {end_hour})h out of range for a "
+                    f"{self._store.n_points * interval}h trace"
+                )
+            child = TraceSet(name=self.name)
+            child._store = self._store.window(i, j)
+            child._pending = self._pending
+            return child
         child = TraceSet(
             name=self.name,
             _traces=[t.window(start_hour, end_hour) for t in self._traces],
@@ -300,6 +424,19 @@ class TraceSet:
     def subset(self, vm_ids: Iterable[str]) -> "TraceSet":
         """Restrict to the given VMs (order follows ``vm_ids``)."""
         selected = list(vm_ids)
+        if self._pending is not None:
+            pairs = self._pending_pairs()
+            by_id = {pair[0].vm_id: pair for pair in pairs}
+            for vm_id in selected:
+                if vm_id not in by_id:
+                    raise TraceError(
+                        f"unknown vm_id {vm_id!r} in {self.name!r}"
+                    )
+            child = TraceSet(name=self.name)
+            if selected:
+                child._store = self._store.take(selected)
+                child._pending = [by_id[v] for v in selected]
+            return child
         child = TraceSet(
             name=self.name, _traces=[self.trace(v) for v in selected]
         )

@@ -16,6 +16,7 @@ from repro.runner import ExperimentRunner
 from repro.sharding import (
     KIND_SHARD_PLAN,
     chunked_source,
+    generated_source,
     preset_source,
     run_sharded_plan,
     shard_plan_task,
@@ -126,6 +127,35 @@ class TestRunShardedPlan:
         assert pooled.report.shards == serial.report.shards
         assert pooled.run_report.workers >= 1
         assert len(pooled.run_report.results) == pooled.report.n_shards
+
+    def test_generated_source_equals_preset(self, small_traces) -> None:
+        """Workers synthesizing only their own rows via the array
+        engine's vm_range must reproduce the preset plan exactly."""
+        n = len(small_traces)
+        generated = _run(
+            generated_source("banking", scale=_SCALE, days=_DAYS, seed=_SEED),
+            ExperimentRunner(serial=True, use_cache=False),
+            n,
+        )
+        preset = _run(
+            preset_source("banking", scale=_SCALE, days=_DAYS, seed=_SEED),
+            ExperimentRunner(serial=True, use_cache=False),
+            n,
+        )
+        assert len(generated.schedule) == len(preset.schedule)
+        for left, right in zip(generated.schedule, preset.schedule):
+            assert left.placement.assignment == right.placement.assignment
+        assert generated.report.shards == preset.report.shards
+
+    def test_generated_source_document_shape(self) -> None:
+        source = generated_source("banking", scale=0.5, days=8, seed=3)
+        assert source == {
+            "kind": "generated",
+            "datacenter": "banking",
+            "scale": 0.5,
+            "days": 8,
+            "seed": 3,
+        }
 
     def test_run_records_reconciliation_report(self, chunk_dir, small_traces) -> None:
         run = _run(

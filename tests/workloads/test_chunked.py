@@ -219,3 +219,41 @@ class TestOpenValidation:
         manifest.write_text(manifest.read_text().replace('"format": 1', '"format": 99'))
         with pytest.raises(TraceError, match="format"):
             load_manifest(tmp_path)
+
+
+class TestGeneratedChunkedStore:
+    """Streaming generation straight to disk (array engine blocks)."""
+
+    def test_preset_streamed_store_matches_in_memory(self, tmp_path) -> None:
+        from repro.workloads.datacenters import (
+            generate_datacenter,
+            generate_datacenter_chunked,
+        )
+
+        directory = generate_datacenter_chunked(
+            "banking", tmp_path / "dc", scale=0.04, days=2, block_rows=6
+        )
+        disk = open_chunked_store(directory)
+        memory = generate_datacenter("banking", scale=0.04, days=2).store
+        assert disk.vm_ids == memory.vm_ids
+        np.testing.assert_array_equal(
+            np.asarray(disk.cpu_util), memory.cpu_util
+        )
+        np.testing.assert_array_equal(
+            np.asarray(disk.cpu_rpe2), memory.cpu_rpe2
+        )
+        np.testing.assert_array_equal(
+            np.asarray(disk.memory_gb), memory.memory_gb
+        )
+
+    def test_opened_rows_rebuild_vms(self, tmp_path) -> None:
+        from repro.workloads.datacenters import generate_datacenter_chunked
+
+        directory = generate_datacenter_chunked(
+            "banking", tmp_path / "dc", scale=0.04, days=2
+        )
+        shard = open_chunked_trace_set(directory, start=3, stop=9)
+        assert len(shard.traces) == 6
+        for trace in shard.traces:
+            assert trace.vm.memory_config_gb > 0
+            assert trace.source_spec.cpu_rpe2 > 0

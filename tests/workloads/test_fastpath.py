@@ -1,0 +1,127 @@
+"""Unit proofs for the array engine's fast seeding and draw kernels.
+
+The engine trusts nothing at runtime — both fast paths verify
+themselves against the numpy reference constructors before the first
+use and fall back to bit-identical python otherwise.  These tests pin
+the pieces of that contract that the end-to-end equivalence suite
+exercises only indirectly: the batched SeedSequence/PCG64 hashes, the
+state-install round trip, and the compiled kernel's availability probe.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.fastdraw import make_fast_drawer
+from repro.workloads.fastseed import (
+    FastSeeder,
+    batched_pcg64_state_words,
+    make_fast_seeder,
+    seedseq_state_words,
+)
+
+
+@pytest.mark.parametrize("seed", [0, 1, 11, 2**63 + 12345])
+def test_seedseq_state_words_match_reference(seed):
+    indices = np.array([0, 1, 2, 7, 40001], dtype=np.uint64)
+    words = seedseq_state_words(seed, indices)
+    assert words is not None
+    assert words.shape == (indices.size, 8)
+    for row, index in enumerate(indices):
+        reference = np.random.SeedSequence(
+            seed, spawn_key=(int(index),)
+        ).generate_state(8, np.uint32)
+        np.testing.assert_array_equal(words[row], reference)
+
+
+@pytest.mark.parametrize("seed", [3, 999])
+def test_batched_pcg64_states_match_reference(seed):
+    arrays = batched_pcg64_state_words(seed, np.arange(6, dtype=np.uint64))
+    assert arrays is not None
+    state_lo, state_hi, inc_lo, inc_hi = arrays
+    for i in range(6):
+        reference = np.random.PCG64(
+            np.random.SeedSequence(seed, spawn_key=(i,))
+        ).state["state"]
+        expected_state = reference["state"]
+        expected_inc = reference["inc"]
+        got_state = (int(state_hi[i]) << 64) | int(state_lo[i])
+        got_inc = (int(inc_hi[i]) << 64) | int(inc_lo[i])
+        assert got_state == expected_state
+        assert got_inc == expected_inc
+
+
+def test_fast_seeder_install_replays_reference_draws():
+    seeder = make_fast_seeder()
+    assert seeder is not None, "fast seeder must verify on this platform"
+    arrays = seeder.seeded_state_arrays(21, 5, 8)
+    assert arrays is not None
+    for offset, index in enumerate(range(5, 8)):
+        seeder.install(
+            int(arrays[0][offset]),
+            int(arrays[1][offset]),
+            int(arrays[2][offset]),
+            int(arrays[3][offset]),
+        )
+        reference = np.random.Generator(
+            np.random.PCG64(np.random.SeedSequence(21, spawn_key=(index,)))
+        )
+        np.testing.assert_array_equal(
+            seeder.generator.standard_normal(5), reference.standard_normal(5)
+        )
+        assert int(seeder.generator.integers(0, 10**9)) == int(
+            reference.integers(0, 10**9)
+        )
+
+
+def test_fast_seeder_save_restore_round_trip():
+    seeder = make_fast_seeder()
+    assert seeder is not None
+    snapshot = seeder.save()
+    before = seeder.generator.standard_normal(4)
+    seeder.restore(snapshot)
+    np.testing.assert_array_equal(
+        before, seeder.generator.standard_normal(4)
+    )
+
+
+def test_fast_drawer_requires_seeder():
+    assert make_fast_drawer(None) is None
+
+
+def test_fast_drawer_filters_match_numpy():
+    """When the compiled kernel is available its fused passes must match
+    the numpy pass sequences bitwise (skipped where no toolchain)."""
+    seeder = make_fast_seeder()
+    drawer = make_fast_drawer(seeder)
+    if drawer is None:
+        pytest.skip("compiled draw kernel unavailable on this platform")
+    rng = np.random.default_rng(7)
+    util = rng.random((5, 48)) * 1.4
+    rpe2 = np.empty_like(util)
+    committed = np.empty_like(util)
+    expected_util = np.clip(util, 0.002, 1.0)
+    expected_rpe2 = expected_util * 52.0
+    peaks = np.maximum(expected_util.max(axis=1), 1e-9)
+    expected_committed = expected_util / peaks[:, None]
+    candidate = util.copy()
+    drawer.clip_scale_div(
+        candidate,
+        rpe2,
+        committed,
+        clip_low=0.002,
+        clip_high=1.0,
+        scale=52.0,
+        peak_floor=1e-9,
+    )
+    np.testing.assert_array_equal(candidate, expected_util)
+    np.testing.assert_array_equal(rpe2, expected_rpe2)
+    np.testing.assert_array_equal(committed, expected_committed)
+
+
+def test_fast_seeder_exposes_state_addresses():
+    seeder = FastSeeder()
+    words_address, flags_address = seeder.raw_addresses()
+    assert words_address != 0
+    assert flags_address != 0
